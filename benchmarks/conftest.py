@@ -1,0 +1,50 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark prints the series the paper's figure plots (so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the numbers) and
+asserts the qualitative *shape* claims — who wins, by roughly what
+factor — rather than exact values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_results(name: str, payload: Dict) -> str:
+    """Persist a figure's regenerated series under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows),
+                                      default=0))
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benchmarked callable exactly once (expensive targets)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

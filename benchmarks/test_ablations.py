@@ -1,0 +1,478 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These drive the *flit-level* simulated datapath (not the analytic
+models): real transactions through RMMU → routing → LLC → wire → C1 →
+donor DRAM, varying one design parameter at a time:
+
+* LLC frame size (flits/frame) — padding waste vs replay granularity;
+* Rx credit depth — backpressure vs in-flight parallelism;
+* link loss rate — replay cost on goodput;
+* channel bonding — measured bandwidth gain on the real datapath;
+* NUMA balancing — average access latency before/after page migration.
+"""
+
+import pytest
+from conftest import print_table, save_results
+
+from repro.core import LlcConfig
+from repro.mem import CACHELINE_BYTES, MIB
+from repro.net import FaultInjector
+from repro.osmodel import NumaBalancer, PagePolicy
+from repro.testbed import Testbed
+
+
+def _measure_goodput(testbed, window, workers=8, loads_per_worker=48):
+    """Closed-loop bandwidth: N workers stream cacheline loads."""
+    sim = testbed.sim
+    lines_per_worker = loads_per_worker
+
+    def worker(worker_index):
+        base = window.start + worker_index * lines_per_worker * CACHELINE_BYTES
+        for line in range(lines_per_worker):
+            yield testbed.node0.bus.load(
+                base + line * CACHELINE_BYTES, CACHELINE_BYTES
+            )
+
+    start = sim.now
+    procs = [sim.process(worker(i), name=f"w{i}") for i in range(workers)]
+
+    def waiter():
+        yield sim.all_of(procs)
+
+    sim.run_process(waiter())
+    elapsed = sim.now - start
+    total_bytes = workers * loads_per_worker * CACHELINE_BYTES
+    return total_bytes / elapsed
+
+
+def _build(llc_config=None, bonded=False, fault=None):
+    injectors = {0: fault} if fault else None
+    testbed = Testbed(llc_config=llc_config, fault_injectors=injectors)
+    attachment = testbed.attach(
+        "node0", 2 * MIB, memory_host="node1", bonded=bonded
+    )
+    window = testbed.remote_window_range(attachment)
+    return testbed, window
+
+
+class TestLlcAblations:
+    def test_ablation_frame_size(self, once):
+        def sweep():
+            results = {}
+            for flits in (5, 16, 32):
+                testbed, window = _build(LlcConfig(flits_per_frame=flits))
+                results[flits] = _measure_goodput(testbed, window)
+            return results
+
+        results = once(sweep)
+        print_table(
+            "Ablation — LLC frame size",
+            ["flits/frame", "goodput (GB/s)"],
+            [(k, f"{v / 1e9:.2f}") for k, v in sorted(results.items())],
+        )
+        save_results("ablation_frame_size",
+                     {str(k): v for k, v in results.items()})
+        # All frame sizes must deliver working goodput; tiny frames pay
+        # per-frame header overhead and cannot beat the default.
+        assert all(value > 0.5e9 for value in results.values())
+        assert results[5] <= results[16] * 1.05
+
+    def test_ablation_credit_depth(self, once):
+        def sweep():
+            results = {}
+            for slots in (4, 32, 256):
+                testbed, window = _build(LlcConfig(rx_queue_slots=slots))
+                results[slots] = _measure_goodput(testbed, window)
+            return results
+
+        results = once(sweep)
+        print_table(
+            "Ablation — Rx credit depth",
+            ["rx slots", "goodput (GB/s)"],
+            [(k, f"{v / 1e9:.2f}") for k, v in sorted(results.items())],
+        )
+        save_results("ablation_credit_depth",
+                     {str(k): v for k, v in results.items()})
+        # Starved credits throttle the pipeline: monotone improvement.
+        assert results[4] < results[32] <= results[256] * 1.2
+        # "The depth of the Rx ingress queues has been carefully
+        # calculated to avoid credits starvation" — the default (256)
+        # must not be the bottleneck for this worker count.
+        assert results[256] == max(results.values())
+
+    def test_ablation_loss_rate(self, once):
+        def sweep():
+            results = {}
+            for loss in (0.0, 0.01, 0.05):
+                fault = FaultInjector(drop_probability=loss) if loss else None
+                testbed, window = _build(fault=fault)
+                goodput = _measure_goodput(testbed, window)
+                llc = testbed.node1.device.llcs[0]
+                results[loss] = (goodput, llc.replays_served
+                                 + testbed.node0.device.llcs[0].replays_served)
+            return results
+
+        results = once(sweep)
+        print_table(
+            "Ablation — link loss rate",
+            ["drop prob", "goodput (GB/s)", "frames replayed"],
+            [
+                (k, f"{v[0] / 1e9:.2f}", v[1])
+                for k, v in sorted(results.items())
+            ],
+        )
+        save_results(
+            "ablation_loss",
+            {str(k): {"goodput": v[0], "replays": v[1]}
+             for k, v in results.items()},
+        )
+        clean_goodput, clean_replays = results[0.0]
+        lossy_goodput, lossy_replays = results[0.05]
+        assert clean_replays == 0
+        assert lossy_replays > 0
+        assert lossy_goodput < clean_goodput  # replay costs real time
+        assert lossy_goodput > 0.2 * clean_goodput  # ...but recovers
+
+    def test_ablation_bonding_datapath(self, once):
+        # Enough outstanding lines (128 workers ≈ 16 KB in flight) that
+        # the demand exceeds one channel's ~12 GB/s payload capacity —
+        # below that, goodput is latency-bound and bonding cannot help.
+        def sweep():
+            single_tb, single_win = _build(bonded=False)
+            bonded_tb, bonded_win = _build(bonded=True)
+            return {
+                "single": _measure_goodput(
+                    single_tb, single_win, workers=128, loads_per_worker=24
+                ),
+                "bonded": _measure_goodput(
+                    bonded_tb, bonded_win, workers=128, loads_per_worker=24
+                ),
+            }
+
+        results = once(sweep)
+        print_table(
+            "Ablation — channel bonding (measured datapath)",
+            ["mode", "goodput (GB/s)"],
+            [(k, f"{v / 1e9:.2f}") for k, v in results.items()],
+        )
+        save_results("ablation_bonding", results)
+        # Two channels help once one saturates, but never reach 2x
+        # (per-transaction endpoint costs are shared) — the same reason
+        # the paper measures ~30% rather than 2x for STREAM.
+        gain = results["bonded"] / results["single"]
+        assert 1.1 <= gain <= 2.0
+
+
+class TestFutureWorkProjections:
+    """§VII extensions the paper proposes: HBM cache, integrated SoC."""
+
+    def test_ablation_hbm_cache(self, once):
+        """An HBM layer at the compute endpoint absorbs hot reads."""
+        from repro.core import HbmCacheConfig
+
+        def run():
+            testbed, window = _build()
+            cache = testbed.node0.device.enable_hbm_cache(
+                HbmCacheConfig(size_bytes=1 * MIB)
+            )
+            hot_lines = 16
+            # Warm: first pass misses; subsequent passes hit in HBM.
+            for _ in range(4):
+                for line in range(hot_lines):
+                    testbed.node0.run_load(
+                        window.start + line * CACHELINE_BYTES
+                    )
+            recorder = testbed.node0.device.compute.rtt
+            return {
+                "mean_ns": recorder.mean * 1e9,
+                "p50_ns": recorder.percentile(50) * 1e9,
+                "hit_ratio": cache.hit_ratio,
+                "hits": cache.read_hits,
+            }
+
+        results = once(run)
+        print_table(
+            "Ablation — §VII HBM caching layer (hot 2 KiB working set)",
+            ["metric", "value"],
+            [
+                ("mean read latency", f"{results['mean_ns']:.0f} ns"),
+                ("median read latency", f"{results['p50_ns']:.0f} ns"),
+                ("HBM hit ratio", f"{results['hit_ratio']:.2f}"),
+            ],
+        )
+        save_results("ablation_hbm", results)
+        # 3 of 4 passes hit: median must collapse to HBM latency.
+        assert results["hit_ratio"] >= 0.70
+        assert results["p50_ns"] < 200  # vs ~1030 ns remote
+        assert results["mean_ns"] < 500
+
+    def test_ablation_integrated_soc(self, once):
+        """Integrating the design in the SoC saves 4 serdes crossings."""
+        from repro.testbed import NodeSpec
+        from repro.testbed.calibration import (
+            integrated_rtt_budget_s,
+            rtt_budget_s,
+        )
+
+        def run():
+            results = {}
+            for label, integrated in (("fpga", False), ("soc", True)):
+                testbed = Testbed(spec=NodeSpec(integrated_soc=integrated))
+                attachment = testbed.attach(
+                    "node0", 2 * MIB, memory_host="node1"
+                )
+                window = testbed.remote_window_range(attachment)
+                # Measure at the *bus* level: the device-internal RTT
+                # recorder sits behind the M1 port and would not see the
+                # compute-side host serdes this projection removes. The
+                # duration is captured inside the process (queue-drain
+                # time would include unrelated trailing LLC timers).
+                sim = testbed.sim
+
+                def timed_load():
+                    start = sim.now
+                    yield testbed.node0.bus.load(window.start, 128)
+                    return sim.now - start
+
+                samples = 16
+                total = sum(
+                    sim.run_process(timed_load()) for _ in range(samples)
+                )
+                results[label] = total / samples
+            return results
+
+        results = once(run)
+        saved = (results["fpga"] - results["soc"]) * 1e9
+        print_table(
+            "Ablation — §VII SoC integration (RTT)",
+            ["design", "measured RTT (ns)", "static budget (ns)"],
+            [
+                ("off-chip FPGA", f"{results['fpga'] * 1e9:.0f}",
+                 f"{rtt_budget_s() * 1e9:.0f}"),
+                ("integrated SoC", f"{results['soc'] * 1e9:.0f}",
+                 f"{integrated_rtt_budget_s() * 1e9:.0f}"),
+                ("saved", f"{saved:.0f}", "220 (4 serdes)"),
+            ],
+        )
+        save_results(
+            "ablation_integrated_soc",
+            {k: v * 1e9 for k, v in results.items()},
+        )
+        # Four host-link serdes crossings ≈ 220 ns per round trip.
+        assert saved == pytest.approx(220, abs=30)
+
+
+class TestNetworkFabricAblation:
+    """§VII: circuit-switched vs packet-switched rack fabrics."""
+
+    def test_ablation_circuit_vs_packet(self, once):
+        """Unloaded latency favours circuits; packet fabrics trade a
+        per-hop forwarding cost for zero reconfiguration."""
+        from repro.net import (
+            Addressed,
+            CircuitSwitch,
+            LinkConfig,
+            PacketSwitch,
+            SerialLink,
+        )
+        from repro.sim import Simulator
+
+        class _Frame:
+            wire_bytes = 512
+
+        def run():
+            config = LinkConfig()
+            results = {}
+
+            # Circuit: one optical crossing, but 20 µs reconfiguration
+            # before the path exists at all.
+            sim = Simulator()
+            circuit = CircuitSwitch(sim, ports=2, reconfiguration_s=20e-6)
+            out = SerialLink(sim, config, name="c.out")
+            circuit.attach_egress(1, out)
+            circuit.connect(0, 1)
+            sim.run(until=25e-6)  # wait out the dark window
+            start = sim.now
+            circuit.ingress_store(0).try_put((_Frame(), False))
+            sim.run()
+            results["circuit_latency_s"] = sim.now - start
+            results["circuit_setup_s"] = circuit.reconfiguration_s
+
+            # Packet: usable instantly, higher per-frame latency.
+            sim = Simulator()
+            packet = PacketSwitch(sim, ports=2)
+            out = SerialLink(sim, config, name="p.out")
+            packet.attach_egress(1, out)
+            start = sim.now
+            packet.ingress_store(0).try_put(
+                (Addressed(1, _Frame()), False)
+            )
+            sim.run()
+            results["packet_latency_s"] = sim.now - start
+            results["packet_setup_s"] = 0.0
+            return results
+
+        results = once(run)
+        print_table(
+            "Ablation — §VII circuit vs packet fabric",
+            ["fabric", "per-frame latency", "path setup"],
+            [
+                ("circuit (optical)",
+                 f"{results['circuit_latency_s'] * 1e9:.0f} ns",
+                 f"{results['circuit_setup_s'] * 1e6:.0f} µs"),
+                ("packet (store&fwd)",
+                 f"{results['packet_latency_s'] * 1e9:.0f} ns",
+                 "0 µs (any-to-any)"),
+            ],
+        )
+        save_results(
+            "ablation_fabric",
+            {k: v for k, v in results.items()},
+        )
+        # The §VII trade-off in numbers: circuits are faster per frame,
+        # packets need no setup.
+        assert results["circuit_latency_s"] < results["packet_latency_s"]
+        assert results["packet_setup_s"] == 0.0
+        assert results["circuit_setup_s"] > 0.0
+
+
+class TestNumaMigrationAblation:
+    def test_ablation_numa_balancing(self, once):
+        """Average access latency before vs after AutoNUMA migration."""
+
+        def run():
+            testbed = Testbed()
+            attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+            kernel = testbed.node0.kernel
+            remote_node = attachment.plan.numa_node_id
+            mapping = kernel.mmap(
+                1 * MIB, PagePolicy.BIND, nodes=[remote_node]
+            )
+            balancer = NumaBalancer(kernel, sample_period=1, min_samples=2)
+
+            def mean_latency():
+                total = 0.0
+                for page in mapping.pages:
+                    total += kernel.topology.latency_s(0, page.node_id)
+                return total / len(mapping.pages)
+
+            before = mean_latency()
+            # The CPU node hammers half the pages; the balancer should
+            # migrate exactly those.
+            hot = range(0, len(mapping.pages), 2)
+            for _ in range(6):
+                for index in hot:
+                    balancer.record_access(mapping, index, cpu_node=0)
+            migrated = balancer.balance(mapping)
+            after = mean_latency()
+            return before, after, migrated, len(mapping.pages)
+
+        before, after, migrated, pages = once(run)
+        print_table(
+            "Ablation — NUMA balancing",
+            ["metric", "value"],
+            [
+                ("mean access latency before", f"{before * 1e9:.0f} ns"),
+                ("mean access latency after", f"{after * 1e9:.0f} ns"),
+                ("pages migrated", f"{migrated}/{pages}"),
+            ],
+        )
+        save_results(
+            "ablation_numa",
+            {"before_ns": before * 1e9, "after_ns": after * 1e9,
+             "migrated": migrated},
+        )
+        assert migrated == pages // 2
+        # Half the pages now local: mean latency falls by ~45-50%.
+        assert after < 0.65 * before
+
+
+class TestQosAblation:
+    """§IV-A3 extension: weighted channel sharing on the real datapath."""
+
+    def test_ablation_weighted_bonding(self, once):
+        def run():
+            results = {}
+            for label, weights in (("1:1", None), ("3:1", [3, 1])):
+                testbed, window = _build(bonded=True)
+                attachment_flow_id = (
+                    testbed.plane.attachments(token=testbed.admin_token)[0]
+                    .flow.network_id
+                )
+                if weights is not None:
+                    testbed.node0.device.routing.install_route(
+                        attachment_flow_id, [0, 1], weights=weights
+                    )
+                _measure_goodput(testbed, window, workers=32,
+                                 loads_per_worker=16)
+                tx = list(testbed.node0.device.routing.per_channel_tx)
+                results[label] = tx
+            return results
+
+        results = once(run)
+        print_table(
+            "Ablation — §IV-A3 weighted channel sharing (requests/channel)",
+            ["weights", "ch0", "ch1"],
+            [(k, v[0], v[1]) for k, v in results.items()],
+        )
+        save_results("ablation_qos", results)
+        even = results["1:1"]
+        skewed = results["3:1"]
+        assert abs(even[0] - even[1]) <= even[0] * 0.1  # balanced
+        # 3:1 weighting: channel 0 carries ~3x channel 1's requests.
+        assert 2.5 <= skewed[0] / skewed[1] <= 3.5
+
+
+class TestPacketRackCongestion:
+    """§VII: congestion on the packet fabric when flows converge."""
+
+    def test_ablation_packet_fanin(self, once):
+        from repro.testbed import PacketRackTestbed
+
+        def run():
+            rack = PacketRackTestbed(nodes=4, egress_queue_frames=8)
+            # node1 and node2 both borrow from node3: their response
+            # traffic shares node3's downlink... and more importantly
+            # both compute flows contend on node3's uplink/egress.
+            a = rack.attach("node1", 1 * MIB, memory_host="node3")
+            b = rack.attach("node2", 1 * MIB, memory_host="node3")
+            wa = rack.remote_window_range(a)
+            wb = rack.remote_window_range(b)
+            sim = rack.sim
+
+            def worker(node, window, lines):
+                for line in range(lines):
+                    yield rack.node(node).bus.load(
+                        window.start + line * CACHELINE_BYTES, 128
+                    )
+
+            start = sim.now
+            procs = [
+                sim.process(worker("node1", wa, 64)),
+                sim.process(worker("node2", wb, 64)),
+            ]
+
+            def waiter():
+                yield sim.all_of(procs)
+
+            sim.run_process(waiter())
+            elapsed = sim.now - start
+            return {
+                "elapsed_us": elapsed * 1e6,
+                "congestion_drops": rack.switch.frames_dropped_congestion,
+                "forwarded": rack.switch.frames_forwarded,
+            }
+
+        results = once(run)
+        print_table(
+            "Ablation — packet-fabric fan-in (2 flows -> 1 donor)",
+            ["metric", "value"],
+            [
+                ("elapsed", f"{results['elapsed_us']:.1f} µs"),
+                ("frames forwarded", results["forwarded"]),
+                ("congestion drops", results["congestion_drops"]),
+            ],
+        )
+        save_results("ablation_packet_fanin", results)
+        # Everything completes despite any congestion drops (LLC replay).
+        assert results["forwarded"] > 0

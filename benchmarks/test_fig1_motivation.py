@@ -1,0 +1,82 @@
+"""Fig. 1 — datacentre utilization: fixed vs disaggregated.
+
+Paper values (12 555 units, Google ClusterData):
+
+====================  =====  =====
+metric                fixed  disagg
+====================  =====  =====
+fragmentation CPU %   16.0   3.86
+fragmentation MEM %   29.5   9.2
+resources off CPU %    1.0   8.0
+resources off MEM %    1.0   27.0
+====================  =====  =====
+
+This bench replays the synthetic trace at a 31× scale-down (400 units)
+with the same demand-to-capacity operating point and asserts the
+paper's *shape*: disaggregation cuts both fragmentation indices by ≈3–4×
+and frees an order of magnitude more memory modules for power-off.
+"""
+
+from conftest import print_table, save_results
+
+from repro.cluster import run_fig1_experiment, scaled_trace_config
+
+UNITS = 400
+
+
+def run_experiment():
+    return run_fig1_experiment(scaled_trace_config(units=UNITS), units=UNITS)
+
+
+def test_fig1_motivation(once):
+    reports = once(run_experiment)
+    fixed = reports["fixed"]
+    disagg = reports["disaggregated"]
+
+    rows = [
+        (
+            "Fragmentation CPU %",
+            f"{fixed.cpu_fragmentation_pct:.2f}",
+            f"{disagg.cpu_fragmentation_pct:.2f}",
+            "16.0 / 3.86",
+        ),
+        (
+            "Fragmentation MEM %",
+            f"{fixed.memory_fragmentation_pct:.2f}",
+            f"{disagg.memory_fragmentation_pct:.2f}",
+            "29.5 / 9.2",
+        ),
+        (
+            "Off (compute) %",
+            f"{fixed.compute_off_pct:.2f}",
+            f"{disagg.compute_off_pct:.2f}",
+            "1.0 / 8.0",
+        ),
+        (
+            "Off (memory) %",
+            f"{fixed.memory_off_pct:.2f}",
+            f"{disagg.memory_off_pct:.2f}",
+            "1.0 / 27.0",
+        ),
+    ]
+    print_table(
+        "Fig. 1 — utilization, fixed vs disaggregated "
+        f"({UNITS} units, scaled)",
+        ["metric", "fixed", "disaggregated", "paper (fixed/disagg)"],
+        rows,
+    )
+    save_results(
+        "fig1",
+        {
+            "fixed": fixed.as_row(),
+            "disaggregated": disagg.as_row(),
+            "units": UNITS,
+        },
+    )
+
+    # Shape assertions (paper ratios: CPU 4.1x, MEM 3.2x improvements).
+    assert disagg.cpu_fragmentation_pct < fixed.cpu_fragmentation_pct / 2
+    assert disagg.memory_fragmentation_pct < fixed.memory_fragmentation_pct / 2
+    assert fixed.memory_fragmentation_pct > 20.0  # severe memory stranding
+    assert disagg.memory_off_pct > fixed.memory_off_pct + 10.0
+    assert disagg.memory_off_pct > 15.0  # large power-off opportunity

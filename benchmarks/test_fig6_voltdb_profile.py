@@ -1,0 +1,109 @@
+"""Fig. 6 — VoltDB profiling: package IPC and utilized CPU cores.
+
+Series: YCSB workloads A–F × partitions {4, 16, 32, 64} for the local
+and single-disaggregated configurations (perf-derived metrics).
+
+Shape claims asserted (§VI-D):
+* local, mixed workloads (A, F): IPC rises with partitions, the largest
+  jump between 4 and 16;
+* read-dominated workloads (B–E): much flatter IPC scaling;
+* disaggregated: UCC consistently *higher* than local (stalled threads
+  do not yield), IPC lower at small partition counts;
+* back-end stall cycles: ≈55.5 % local vs ≈80.9 % single-disaggregated.
+"""
+
+import pytest
+from conftest import print_table, save_results
+
+from repro.apps import VoltDbModel
+from repro.testbed import MemoryConfigKind, make_environment
+
+WORKLOADS = tuple("ABCDEF")
+PARTITIONS = (4, 16, 32, 64)
+CONFIGS = (
+    MemoryConfigKind.LOCAL,
+    MemoryConfigKind.SINGLE_DISAGGREGATED,
+)
+
+
+def run_profile():
+    environments = {kind: make_environment(kind) for kind in CONFIGS}
+    metrics = {}
+    for kind in CONFIGS:
+        for workload in WORKLOADS:
+            for partitions in PARTITIONS:
+                model = VoltDbModel(environments[kind], partitions)
+                metrics[(kind.value, workload, partitions)] = model.evaluate(
+                    workload
+                )
+    return metrics
+
+
+def test_fig6_voltdb_profile(once):
+    metrics = once(run_profile)
+
+    rows = []
+    for workload in WORKLOADS:
+        for partitions in PARTITIONS:
+            local = metrics[("local", workload, partitions)]
+            single = metrics[("single-disaggregated", workload, partitions)]
+            rows.append(
+                (
+                    workload,
+                    partitions,
+                    f"{local.package_ipc:.2f}",
+                    f"{local.utilized_cores:.1f}",
+                    f"{single.package_ipc:.2f}",
+                    f"{single.utilized_cores:.1f}",
+                )
+            )
+    print_table(
+        "Fig. 6 — VoltDB package IPC / utilized cores",
+        ["wl", "parts", "IPC(local)", "UCC(local)",
+         "IPC(single)", "UCC(single)"],
+        rows,
+    )
+    save_results(
+        "fig6",
+        {
+            f"{kind}/{workload}/{partitions}": {
+                "package_ipc": m.package_ipc,
+                "ucc": m.utilized_cores,
+                "backend_stall": m.backend_stall_fraction,
+            }
+            for (kind, workload, partitions), m in metrics.items()
+        },
+    )
+
+    # Back-end stall calibration (§VI-D text).
+    local_a = metrics[("local", "A", 32)]
+    single_a = metrics[("single-disaggregated", "A", 32)]
+    assert local_a.backend_stall_fraction == pytest.approx(0.555, abs=0.03)
+    assert single_a.backend_stall_fraction == pytest.approx(0.809, abs=0.03)
+
+    for workload in WORKLOADS:
+        local_series = [
+            metrics[("local", workload, p)].package_ipc for p in PARTITIONS
+        ]
+        # IPC is non-decreasing in partitions for every workload.
+        assert local_series == sorted(local_series), workload
+
+    # Mixed workloads gain more from partitions than read-heavy ones.
+    gain = lambda w: (
+        metrics[("local", w, 64)].package_ipc
+        / metrics[("local", w, 4)].package_ipc
+    )
+    assert gain("A") > gain("E")
+
+    # Disaggregation raises UCC and lowers IPC at small partition counts.
+    for workload in WORKLOADS:
+        for partitions in (16, 32, 64):
+            local = metrics[("local", workload, partitions)]
+            single = metrics[("single-disaggregated", workload, partitions)]
+            assert single.utilized_cores >= local.utilized_cores * 0.99, (
+                workload,
+                partitions,
+            )
+        local4 = metrics[("local", workload, 4)]
+        single4 = metrics[("single-disaggregated", workload, 4)]
+        assert single4.package_ipc <= local4.package_ipc

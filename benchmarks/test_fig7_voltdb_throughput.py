@@ -1,0 +1,103 @@
+"""Fig. 7 — YCSB workloads A and E throughput under all five setups.
+
+Paper values for workload A at 32 partitions (relative to local):
+scale-out −5.95 %, interleaved −5.62 %, single −7.97 %, bonding −10.03 %.
+Workload E: "throughput is similar for all configurations" (the READ
+volume saturates VoltDB).
+"""
+
+import pytest
+from conftest import print_table, save_results
+
+from repro.apps import VoltDbModel
+from repro.testbed import MemoryConfigKind, make_environment
+
+WORKLOADS = ("A", "E")
+PARTITIONS = (4, 32)
+ORDER = (
+    MemoryConfigKind.LOCAL,
+    MemoryConfigKind.SCALE_OUT,
+    MemoryConfigKind.INTERLEAVED,
+    MemoryConfigKind.SINGLE_DISAGGREGATED,
+    MemoryConfigKind.BONDING_DISAGGREGATED,
+)
+
+
+def run_throughput():
+    environments = {kind: make_environment(kind) for kind in ORDER}
+    return {
+        (kind.value, workload, partitions): VoltDbModel(
+            environments[kind], partitions
+        ).evaluate(workload)
+        for kind in ORDER
+        for workload in WORKLOADS
+        for partitions in PARTITIONS
+    }
+
+
+def test_fig7_voltdb_throughput(once):
+    metrics = once(run_throughput)
+
+    rows = []
+    for workload in WORKLOADS:
+        for partitions in PARTITIONS:
+            base = metrics[("local", workload, partitions)].throughput_ops
+            for kind in ORDER:
+                m = metrics[(kind.value, workload, partitions)]
+                rows.append(
+                    (
+                        workload,
+                        partitions,
+                        kind.value,
+                        f"{m.throughput_ops / 1e3:.1f}K",
+                        f"{100 * (m.throughput_ops / base - 1):+.2f}%",
+                    )
+                )
+    print_table(
+        "Fig. 7 — YCSB A/E throughput (ops/s, % vs local)",
+        ["wl", "parts", "config", "ops/s", "vs local"],
+        rows,
+    )
+    save_results(
+        "fig7",
+        {
+            f"{kind}/{workload}/{partitions}": m.throughput_ops
+            for (kind, workload, partitions), m in metrics.items()
+        },
+    )
+
+    a32 = {
+        kind.value: metrics[(kind.value, "A", 32)].throughput_ops
+        for kind in ORDER
+    }
+    base = a32["local"]
+    # Local wins (§VI-D: "the local configuration exhibits the best
+    # performance regardless of the workload and number of partitions").
+    assert base == max(a32.values())
+    # Paper degradations ±4pp.
+    assert 1 - a32["scale-out"] / base == pytest.approx(0.0595, abs=0.04)
+    assert 1 - a32["interleaved"] / base == pytest.approx(0.0562, abs=0.04)
+    assert 1 - a32["single-disaggregated"] / base == pytest.approx(
+        0.0797, abs=0.04
+    )
+    assert 1 - a32["bonding-disaggregated"] / base == pytest.approx(
+        0.1003, abs=0.04
+    )
+
+    # At 4 partitions the ThymesisFlow configurations trail badly.
+    a4_local = metrics[("local", "A", 4)].throughput_ops
+    for kind in (
+        MemoryConfigKind.SINGLE_DISAGGREGATED,
+        MemoryConfigKind.BONDING_DISAGGREGATED,
+    ):
+        a4 = metrics[(kind.value, "A", 4)].throughput_ops
+        assert a4 < 0.75 * a4_local, kind
+
+    # Workload E: configurations stay close (read volume saturates
+    # VoltDB); the spread is tighter once executors stop binding at 32.
+    for partitions, bound in ((4, 1.20), (32, 1.10)):
+        values = [
+            metrics[(kind.value, "E", partitions)].throughput_ops
+            for kind in ORDER
+        ]
+        assert max(values) / min(values) < bound, partitions

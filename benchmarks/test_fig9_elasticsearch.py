@@ -1,0 +1,119 @@
+"""Fig. 9 — Elasticsearch ESRally "nested" track throughput.
+
+Series: challenges {RTQ, RNQIHBS, RSTQ, MA} × shards {5, 32} × all five
+configurations.
+
+Shape claims asserted (§VI-F):
+* RTQ: scale-out outperforms every other configuration including local;
+* RNQIHBS / RSTQ: scale-out beats the ThymesisFlow trio, and shard
+  scaling 5→32 *degrades* throughput (sync-heavy challenges);
+* MA: every configuration converges (client-path bound).
+
+Known deviation (recorded in EXPERIMENTS.md): within the ThymesisFlow
+trio on RTQ the paper measures bonding ahead of interleaved; our model
+keeps interleaved ahead (its effective bandwidth bound is higher), while
+preserving single-channel as the clear loser.
+"""
+
+import pytest
+from conftest import print_table, save_results
+
+from repro.apps import ElasticsearchModel
+from repro.testbed import MemoryConfigKind, make_environment
+from repro.workloads import Challenge
+
+ORDER = (
+    MemoryConfigKind.LOCAL,
+    MemoryConfigKind.SCALE_OUT,
+    MemoryConfigKind.INTERLEAVED,
+    MemoryConfigKind.BONDING_DISAGGREGATED,
+    MemoryConfigKind.SINGLE_DISAGGREGATED,
+)
+SHARDS = (5, 32)
+
+
+def run_track():
+    environments = {kind: make_environment(kind) for kind in ORDER}
+    return {
+        (challenge.name, shards, kind.value): ElasticsearchModel(
+            environments[kind], shards
+        ).throughput_qps(challenge)
+        for challenge in Challenge
+        for shards in SHARDS
+        for kind in ORDER
+    }
+
+
+def test_fig9_elasticsearch(once):
+    results = once(run_track)
+
+    rows = []
+    for challenge in Challenge:
+        for shards in SHARDS:
+            so = results[(challenge.name, shards, "scale-out")]
+            for kind in ORDER:
+                qps = results[(challenge.name, shards, kind.value)]
+                rows.append(
+                    (
+                        challenge.name,
+                        shards,
+                        kind.value,
+                        f"{qps:.1f}",
+                        f"{100 * (qps / so - 1):+.1f}%",
+                    )
+                )
+    print_table(
+        "Fig. 9 — nested track throughput (ops/s, % vs scale-out)",
+        ["challenge", "shards", "config", "ops/s", "vs scale-out"],
+        rows,
+    )
+    save_results(
+        "fig9",
+        {f"{c}/{s}/{k}": v for (c, s, k), v in results.items()},
+    )
+
+    get = lambda c, s, k: results[(c, s, k.value)]
+
+    # RTQ: scale-out wins outright, including over local (§VI-F).
+    for shards in SHARDS:
+        values = {kind: get("RTQ", shards, kind) for kind in ORDER}
+        assert values[MemoryConfigKind.SCALE_OUT] == max(values.values())
+        assert (
+            values[MemoryConfigKind.SCALE_OUT]
+            > 1.3 * values[MemoryConfigKind.LOCAL]
+        )
+        # The TF trio trails far behind; single is the worst.
+        assert values[MemoryConfigKind.SINGLE_DISAGGREGATED] == min(
+            values.values()
+        )
+        assert (
+            values[MemoryConfigKind.SINGLE_DISAGGREGATED]
+            < 0.5 * values[MemoryConfigKind.SCALE_OUT]
+        )
+
+    # Sync-heavy challenges: scale-out beats the TF trio; the average
+    # advantage is ordered interleaved < bonding < single (paper:
+    # 17.95% / 41.26% / 60.61%).
+    def average_gap(kind):
+        gaps = []
+        for challenge in ("RNQIHBS", "RSTQ", "MA"):
+            so = get(challenge, 32, MemoryConfigKind.SCALE_OUT)
+            gaps.append(1 - get(challenge, 32, kind) / so)
+        return sum(gaps) / len(gaps)
+
+    gap_interleaved = average_gap(MemoryConfigKind.INTERLEAVED)
+    gap_bonding = average_gap(MemoryConfigKind.BONDING_DISAGGREGATED)
+    gap_single = average_gap(MemoryConfigKind.SINGLE_DISAGGREGATED)
+    assert gap_interleaved < gap_bonding < gap_single
+    assert 0.05 <= gap_interleaved <= 0.35
+    assert 0.20 <= gap_single <= 0.60
+
+    # Shard scaling 5 -> 32 degrades the sync-heavy challenges.
+    for challenge in ("RNQIHBS", "RSTQ"):
+        assert get(challenge, 32, MemoryConfigKind.LOCAL) < get(
+            challenge, 5, MemoryConfigKind.LOCAL
+        )
+
+    # MA converges across configurations at the reference shard count.
+    ma5 = [get("MA", 5, kind) for kind in ORDER]
+    assert max(ma5) / min(ma5) < 1.25

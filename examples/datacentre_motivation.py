@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fig. 1 motivation study: why disaggregate at all?
+
+Replays a synthetic Google-ClusterData-like request stream against two
+datacentre models — conventional fixed servers vs disaggregated
+compute/memory modules — with an online best-fit scheduler, and reports
+the fragmentation indices and power-off opportunities of Fig. 1.
+
+Run:  python examples/datacentre_motivation.py [units]
+"""
+
+import sys
+
+from repro.cluster import (
+    ratio_span_orders_of_magnitude,
+    run_fig1_experiment,
+    scaled_trace_config,
+    synthesize_trace,
+)
+
+
+def main() -> None:
+    units = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    config = scaled_trace_config(units=units)
+    print(f"Datacentre size : {units} servers vs {units}+{units} modules")
+    print(f"Trace           : {config.tasks} tasks, "
+          f"mean duration {config.mean_duration:.0f}")
+    span = ratio_span_orders_of_magnitude(iter(synthesize_trace(config)))
+    print(f"mem/CPU ratios span {span:.1f} orders of magnitude "
+          "(paper: ~3)\n")
+
+    print("Replaying trace against both models (best-fit, no overcommit)...")
+    reports = run_fig1_experiment(config, units=units)
+    fixed = reports["fixed"]
+    disagg = reports["disaggregated"]
+
+    header = f"{'metric':<28}{'fixed':>10}{'disaggregated':>16}{'paper':>16}"
+    print("\n" + header)
+    print("-" * len(header))
+    rows = [
+        ("fragmentation CPU (%)", fixed.cpu_fragmentation_pct,
+         disagg.cpu_fragmentation_pct, "16.0 / 3.9"),
+        ("fragmentation MEM (%)", fixed.memory_fragmentation_pct,
+         disagg.memory_fragmentation_pct, "29.5 / 9.2"),
+        ("power-off compute (%)", fixed.compute_off_pct,
+         disagg.compute_off_pct, "1.0 / 8.0"),
+        ("power-off memory (%)", fixed.memory_off_pct,
+         disagg.memory_off_pct, "1.0 / 27.0"),
+    ]
+    for label, f_value, d_value, paper in rows:
+        print(f"{label:<28}{f_value:>10.2f}{d_value:>16.2f}{paper:>16}")
+
+    cpu_factor = fixed.cpu_fragmentation_pct / disagg.cpu_fragmentation_pct
+    mem_factor = (fixed.memory_fragmentation_pct
+                  / disagg.memory_fragmentation_pct)
+    print(f"\nDisaggregation cuts CPU fragmentation {cpu_factor:.1f}x "
+          f"and memory fragmentation {mem_factor:.1f}x")
+    print("(paper: 4.1x and 3.2x) — \"testimony to the promise brought "
+          "by disaggregation\".")
+
+
+if __name__ == "__main__":
+    main()

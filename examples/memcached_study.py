@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Memcached on disaggregated memory (the Fig. 8 study, end to end).
+
+Part 1 runs the *functional* stack: a scaled-down Facebook-ETC workload
+against a real LRU cache (optionally behind a Twemproxy pair for
+scale-out), reporting the hit ratio the paper calibrates against.
+
+Part 2 runs the *latency model*: GET-latency distributions for all five
+memory configurations, reproducing the Fig. 8 CDF summary.
+
+Run:  python examples/memcached_study.py
+"""
+
+from repro.apps import Memcached, MemcachedLatencyModel, Twemproxy
+from repro.testbed import MemoryConfigKind, make_environment
+from repro.workloads import CacheOpType, EtcConfig, EtcGenerator
+
+
+def functional_run() -> None:
+    print("== Functional ETC run (scaled to 2 MiB cache) ==")
+    config = EtcConfig(
+        cache_bytes=2 << 20, keyspace_bytes=3 << 20, mean_item_bytes=330
+    )
+    generator = EtcGenerator(config)
+    cache = Memcached(config.cache_bytes)
+    warm_ops = 0
+    for op in generator.warmup_operations():
+        cache.set(op.key, b"x" * op.value_bytes)
+        warm_ops += 1
+    print(f"warm-up: {warm_ops} SETs, cache at "
+          f"{cache.used_bytes / config.cache_bytes:.0%} of capacity")
+    cache.stats.gets = cache.stats.hits = 0
+    for op in generator.operations(40_000):
+        if op.op_type is CacheOpType.GET:
+            cache.get(op.key)
+        else:
+            cache.set(op.key, b"x" * op.value_bytes)
+    print(f"measured hit ratio: {cache.stats.hit_ratio:.3f} "
+          "(paper: 0.80-0.82)")
+    print(f"evictions: {cache.stats.evictions}, "
+          f"items resident: {len(cache)}")
+
+    print("\n== Scale-out: the same keys behind Twemproxy ==")
+    pool = Twemproxy([Memcached(1 << 20), Memcached(1 << 20)])
+    keys = [f"key{i}" for i in range(1000)]
+    for key in keys:
+        pool.set(key, b"v")
+    balance = pool.key_distribution(keys)
+    print(f"ketama key distribution over 2 servers: {balance}")
+
+
+def latency_study() -> None:
+    print("\n== Fig. 8 — GET latency per configuration ==")
+    order = (
+        MemoryConfigKind.LOCAL,
+        MemoryConfigKind.INTERLEAVED,
+        MemoryConfigKind.SINGLE_DISAGGREGATED,
+        MemoryConfigKind.BONDING_DISAGGREGATED,
+        MemoryConfigKind.SCALE_OUT,
+    )
+    print(f"{'config':<24}{'mean':>8}{'p50':>8}{'p90':>8}{'p99':>8}"
+          f"{'p90 degr.':>11}")
+    for kind in order:
+        model = MemcachedLatencyModel(make_environment(kind))
+        recorder = model.record(30_000)
+        print(
+            f"{kind.value:<24}"
+            f"{recorder.mean * 1e6:>7.0f}µ"
+            f"{recorder.percentile(50) * 1e6:>7.0f}µ"
+            f"{recorder.percentile(90) * 1e6:>7.0f}µ"
+            f"{recorder.percentile(99) * 1e6:>7.0f}µ"
+            f"{recorder.degradation_at(90):>10.0%}"
+        )
+    print("\npaper means: 600 / 614 / 635 / 650 / 713 µs; "
+          "p90 degradation 19/33/34/64/~100 %")
+    print("ThymesisFlow keeps Memcached within ~7% of local latency — "
+          "while scale-out pays the proxy hop.")
+
+
+def main() -> None:
+    functional_run()
+    latency_study()
+
+
+if __name__ == "__main__":
+    main()

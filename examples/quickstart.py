@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: attach disaggregated memory and touch it.
+
+Builds the paper's three-node prototype (two FPGA-equipped AC922s plus
+a client node), asks the software-defined control plane for 4 MiB of a
+neighbour's memory, and then loads/stores through the full simulated
+datapath: bus → OpenCAPI M1 → RMMU → routing → LLC → 100 Gb/s wire →
+LLC → OpenCAPI C1 → donor DRAM.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.mem import CACHELINE_BYTES, MIB
+from repro.osmodel import PagePolicy
+from repro.testbed import Testbed
+
+
+def main() -> None:
+    print("Building the 3-node ThymesisFlow prototype...")
+    testbed = Testbed()
+
+    print("Attaching 4 MiB of node1's memory to node0 "
+          "(control plane: plan path -> steal -> program RMMU -> hotplug)")
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    plan = attachment.plan
+    print(f"  network id       : {attachment.flow.network_id}")
+    print(f"  sections         : {plan.section_indices}")
+    print(f"  CPU-less NUMA node: {plan.numa_node_id} "
+          f"(SLIT distance {plan.numa_distance})")
+
+    window = testbed.remote_window_range(attachment)
+    print(f"  real-address window on node0: "
+          f"[{window.start:#x}, {window.end:#x})")
+
+    print("\nStoring a cacheline on node0; reading it back...")
+    payload = bytes(range(128))
+    testbed.node0.run_store(window.start, payload)
+    assert testbed.node0.run_load(window.start) == payload
+    print("  roundtrip OK — and the bytes physically live on node1:")
+    donor = testbed.node1.dram.read_now(attachment.grant.effective_base, 16)
+    print(f"  node1 DRAM[{attachment.grant.effective_base:#x}]: "
+          f"{donor.hex()}")
+
+    for _ in range(16):
+        testbed.node0.run_load(window.start)
+    rtt = testbed.node0.device.compute.rtt
+    print(f"\nUnloaded remote-access RTT: {rtt.mean * 1e9:.0f} ns "
+          "(paper prototype: ~950 ns datapath + donor DRAM)")
+
+    print("\nThe kernel can also allocate from the new NUMA node:")
+    mapping = testbed.node0.kernel.mmap(
+        1 * MIB, PagePolicy.BIND, nodes=[plan.numa_node_id]
+    )
+    print(f"  mmap of 1 MiB -> {len(mapping.pages)} pages, "
+          f"all on node {mapping.pages[0].node_id}")
+    address = mapping.address_for_offset(0)
+    testbed.node0.run_store(address, b"hello disaggregation!".ljust(
+        CACHELINE_BYTES, b"\x00"))
+    data = testbed.node0.run_load(address)
+    print(f"  through the page mapping: {data.rstrip(bytes(1)).decode()!r}")
+
+    testbed.node0.kernel.munmap(mapping)
+    print("\nDetaching (offline sections, release donor pin, free path)...")
+    testbed.detach(attachment)
+    print("Done. Control-plane audit log:")
+    for line in testbed.plane.audit_log:
+        print(f"  - {line}")
+
+
+if __name__ == "__main__":
+    main()

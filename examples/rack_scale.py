@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Rack-scale disaggregation through an optical circuit switch (§VII).
+
+The paper's outlook: "at the scale of one or a few racks, a circuit
+switched optical network would be attractive." This example builds four
+AC922 nodes behind one circuit switch and lets the control plane
+compose memory across the rack — planning paths through the switch,
+programming light paths, and paying the extra crossing in RTT.
+
+Run:  python examples/rack_scale.py
+"""
+
+from repro.mem import MIB
+from repro.testbed import RackTestbed
+
+
+def main() -> None:
+    print("Building a 4-node rack behind one circuit switch...")
+    rack = RackTestbed(nodes=4)
+    print(f"  switch ports: {len(rack.switch.ports)}, "
+          f"2 channels per node\n")
+
+    print("node0 borrows from node2; node1 borrows from node3 "
+          "(disjoint circuits):")
+    a = rack.attach("node0", 2 * MIB, memory_host="node2")
+    b = rack.attach("node1", 2 * MIB, memory_host="node3")
+    print(f"  live circuits: {rack.driver.circuits()}")
+
+    for attachment, host in ((a, "node0"), (b, "node1")):
+        window = rack.remote_window_range(attachment)
+        node = rack.node(host)
+        node.run_store(window.start, host.encode().ljust(128, b"\x00"))
+        data = node.run_load(window.start)
+        print(f"  {host}: remote roundtrip OK "
+              f"({data.rstrip(bytes(1)).decode()!r} via switch)")
+
+    for _ in range(16):
+        rack.node("node0").run_load(rack.remote_window_range(a).start)
+    rtt = rack.node("node0").device.compute.rtt.mean
+    print(f"\nRTT through the switch: {rtt * 1e9:.0f} ns "
+          "(back-to-back prototype: ~1030 ns; +2 optical crossings)")
+    distance = rack.node("node0").kernel.topology.distance(
+        0, a.plan.numa_node_id
+    )
+    print(f"NUMA distance encodes it: {distance} "
+          "(back-to-back attachments get ~112)")
+
+    print("\nReconfiguring the rack: node0 switches donor to node3...")
+    rack.detach(a)
+    c = rack.attach("node0", 2 * MIB, memory_host="node3")
+    window = rack.remote_window_range(c)
+    rack.node("node0").run_store(window.start, b"\x42" * 128)
+    assert rack.node("node0").run_load(window.start) == b"\x42" * 128
+    print(f"  circuits now: {rack.driver.circuits()}")
+    print("  link bring-up resynchronized LLC frame ids; "
+          "the new flow is clean")
+
+    print(f"\nswitch stats: {rack.switch.frames_forwarded} frames "
+          f"forwarded, {rack.switch.reconfigurations} reconfigurations")
+    rack.detach(b)
+    rack.detach(c)
+    print("rack drained; all circuits released:",
+          rack.driver.circuits() == [])
+
+
+if __name__ == "__main__":
+    main()

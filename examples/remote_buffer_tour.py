@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""RemoteBuffer tour: program against disaggregated memory directly.
+
+Shows the library's user-facing memory API: allocate buffers under any
+NUMA policy (local, remote-bound, interleaved), read and write byte
+ranges that physically cross the simulated 100 Gb/s wire, and watch
+AutoNUMA migrate hot pages home.
+
+Run:  python examples/remote_buffer_tour.py
+"""
+
+from repro.mem import MIB
+from repro.osmodel import NumaBalancer, PagePolicy
+from repro.testbed import RemoteBuffer, Testbed
+
+
+def main() -> None:
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 8 * MIB, memory_host="node1")
+    remote_node = attachment.plan.numa_node_id
+    print(f"attached 8 MiB of node1 as NUMA node {remote_node}\n")
+
+    print("1. A buffer bound to the remote node:")
+    remote = RemoteBuffer.allocate(
+        testbed.node0, 1 * MIB, policy=PagePolicy.BIND,
+        numa_nodes=[remote_node],
+    )
+    remote.write(0, b"these bytes live on another machine")
+    print(f"   read back: {remote.read(0, 35).decode()!r}")
+    print(f"   pages by NUMA node: {remote.node_histogram()}")
+
+    print("\n2. Slice sugar (step-1 slices only):")
+    remote[1000:1010] = b"0123456789"
+    print(f"   remote[1000:1010] == {remote[1000:1010].decode()!r}")
+
+    print("\n3. An interleaved buffer (the paper's 50/50 configuration):")
+    interleaved = RemoteBuffer.allocate(
+        testbed.node0, 8 * testbed.node0.spec.page_bytes,
+        policy=PagePolicy.INTERLEAVE, numa_nodes=[0, remote_node],
+    )
+    print(f"   pages by NUMA node: {interleaved.node_histogram()}")
+
+    print("\n4. AutoNUMA pulls hot remote pages local:")
+    balancer = NumaBalancer(testbed.node0.kernel, sample_period=1,
+                            min_samples=2)
+    hot_pages = range(0, len(remote.mapping.pages), 2)
+    for _ in range(6):
+        for index in hot_pages:
+            balancer.record_access(remote.mapping, index, cpu_node=0)
+    moved = balancer.balance(remote.mapping)
+    print(f"   migrated {moved} hot pages -> {remote.node_histogram()}")
+    print("   (data is preserved; cold pages stay remote)")
+    assert remote.read(0, 35) == b"these bytes live on another machine"
+
+    remote.free()
+    interleaved.free()
+    testbed.detach(attachment)
+    print("\nbuffers freed, memory detached.")
+
+
+if __name__ == "__main__":
+    main()

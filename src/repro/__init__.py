@@ -1,0 +1,16 @@
+"""ThymesisFlow (MICRO 2020) reproduction: a full-stack simulation of
+software-defined, rack-scale memory disaggregation.
+
+Public API highlights
+---------------------
+* :mod:`repro.testbed` — build the paper's 3-node AC922 prototype and the
+  five experimental memory configurations.
+* :mod:`repro.control` — the software-defined control plane
+  (attach/detach disaggregated memory at runtime).
+* :mod:`repro.core` — the ThymesisFlow device itself (RMMU, routing, LLC).
+* :mod:`repro.workloads` / :mod:`repro.apps` — the evaluation's workload
+  generators and application models.
+* :mod:`repro.cluster` — the datacentre-scale motivation study (Fig. 1).
+"""
+
+__version__ = "1.0.0"

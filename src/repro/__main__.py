@@ -1,0 +1,70 @@
+"""Command line: regenerate paper figures and run the quickstart demo.
+
+Usage::
+
+    python -m repro list               # what can be regenerated
+    python -m repro fig5               # one figure's series
+    python -m repro all                # every figure
+    python -m repro demo               # attach/detach walk-through
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import FIGURES, render
+
+
+def _run_demo() -> None:
+    from .mem import MIB
+    from .testbed import Testbed
+
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    window = testbed.remote_window_range(attachment)
+    print(f"attached 4 MiB of node1 to node0 at "
+          f"[{window.start:#x}, {window.end:#x}) "
+          f"(NUMA node {attachment.plan.numa_node_id})")
+    payload = bytes(range(128))
+    testbed.node0.run_store(window.start, payload)
+    assert testbed.node0.run_load(window.start) == payload
+    for _ in range(16):
+        testbed.node0.run_load(window.start)
+    rtt = testbed.node0.device.compute.rtt.mean
+    print(f"remote load/store roundtrip OK; RTT {rtt * 1e9:.0f} ns")
+    testbed.detach(attachment)
+    print("detached cleanly")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "ThymesisFlow (MICRO 2020) reproduction: regenerate the "
+            "paper's figures from the simulated stack."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(FIGURES) + ["all", "list", "demo"],
+        help="figure id, 'all', 'list', or 'demo'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name, fn in sorted(FIGURES.items()):
+            print(f"{name:6s} {fn.__doc__.strip().splitlines()[0]}")
+        return 0
+    if args.target == "demo":
+        _run_demo()
+        return 0
+    targets = sorted(FIGURES) if args.target == "all" else [args.target]
+    for name in targets:
+        print(render(FIGURES[name]()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

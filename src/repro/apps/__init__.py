@@ -1,0 +1,20 @@
+"""Application models: VoltDB, Memcached, Twemproxy, Elasticsearch."""
+
+from .elastic import CHALLENGE_PROFILES, Elasticsearch, ElasticsearchModel
+from .memcached import CacheStats, Memcached, MemcachedLatencyModel
+from .twemproxy import Twemproxy
+from .voltdb import WORKLOAD_PROFILES, VoltDb, VoltDbMetrics, VoltDbModel
+
+__all__ = [
+    "VoltDb",
+    "VoltDbModel",
+    "VoltDbMetrics",
+    "WORKLOAD_PROFILES",
+    "Memcached",
+    "MemcachedLatencyModel",
+    "CacheStats",
+    "Twemproxy",
+    "Elasticsearch",
+    "ElasticsearchModel",
+    "CHALLENGE_PROFILES",
+]

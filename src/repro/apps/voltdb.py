@@ -1,0 +1,362 @@
+"""VoltDB-like in-memory RDBMS model — paper §VI-D, Figs. 6 and 7.
+
+Two layers, like the other application models:
+
+* :class:`VoltDb` — a **functional** partitioned store in the H-Store
+  mould: SQL-table rows hashed across partitions, each partition owned
+  by one single-threaded executor (serializable per partition by
+  construction). Used to run real YCSB operation streams in tests.
+* :class:`VoltDbModel` — the **performance** model regenerating the
+  paper's profiling (IPC / utilized cores / stall fractions, Fig. 6)
+  and throughput (Fig. 7). Throughput is the soft-min of three
+  capacity bounds (partition executors, the server response path, the
+  shared YCSB client node); UCC follows H-Store's busy-polling
+  executors; IPC weights executor, response-path and polling threads by
+  their busy time. Back-end stall fractions come straight from the
+  CPI stack (§VI-D reports 55.5 % local vs 80.9 % single-disaggregated;
+  the model's VoltDB profile is calibrated to land there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mem.cache import AccessProfile
+from ..perf.cpi import CpiModel
+from ..testbed.configurations import (
+    AccessEnvironment,
+    MemoryConfigKind,
+    make_environment,
+)
+from ..workloads.ycsb import (
+    YCSB_WORKLOADS,
+    YcsbOperation,
+    YcsbOperationType,
+    YcsbWorkload,
+)
+
+__all__ = ["VoltDb", "VoltDbModel", "VoltDbMetrics", "WORKLOAD_PROFILES"]
+
+
+# --------------------------------------------------------------------------- #
+# Functional layer                                                            #
+# --------------------------------------------------------------------------- #
+class VoltDb:
+    """Partitioned, serializable in-memory store (H-Store execution model).
+
+    Rows are dictionaries keyed by integer primary key; the partition of
+    a key is ``hash(key) % partitions``. Each partition executes its
+    transactions serially (we model that by bumping a per-partition
+    logical clock); single-key YCSB operations are single-partition
+    transactions by construction.
+    """
+
+    def __init__(self, partitions: int = 8):
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1: {partitions}")
+        self.partitions = partitions
+        self._data: List[Dict[int, Dict[str, str]]] = [
+            {} for _ in range(partitions)
+        ]
+        self._partition_clock = [0] * partitions
+        self.committed = 0
+
+    def partition_of(self, key: int) -> int:
+        return key % self.partitions
+
+    # -- transactional operations -----------------------------------------------------
+    def read(self, key: int) -> Optional[Dict[str, str]]:
+        row = self._data[self._touch(key)].get(key)
+        return dict(row) if row is not None else None
+
+    def insert(self, key: int, row: Dict[str, str]) -> None:
+        self._data[self._touch(key)][key] = dict(row)
+
+    def update(self, key: int, fields: Dict[str, str]) -> bool:
+        partition = self._touch(key)
+        row = self._data[partition].get(key)
+        if row is None:
+            return False
+        row.update(fields)
+        return True
+
+    def read_modify_write(self, key: int, field_name: str,
+                          value: str) -> bool:
+        partition = self._touch(key)
+        row = self._data[partition].get(key)
+        if row is None:
+            return False
+        _ = row.get(field_name)
+        row[field_name] = value
+        return True
+
+    def scan(self, start_key: int, length: int) -> List[Dict[str, str]]:
+        """Ordered scan across partitions (multi-partition transaction)."""
+        for partition in range(self.partitions):
+            self._partition_clock[partition] += 1
+        self.committed += 1
+        rows = []
+        key = start_key
+        scanned = 0
+        limit = start_key + length * 50  # bounded probe window
+        while scanned < length and key < limit:
+            row = self._data[self.partition_of(key)].get(key)
+            if row is not None:
+                rows.append(dict(row))
+                scanned += 1
+            key += 1
+        return rows
+
+    def execute(self, operation: YcsbOperation) -> object:
+        """Run one YCSB operation against the store."""
+        op = operation.op_type
+        if op is YcsbOperationType.READ:
+            return self.read(operation.key)
+        if op is YcsbOperationType.UPDATE:
+            return self.update(operation.key, {"field0": "updated"})
+        if op is YcsbOperationType.INSERT:
+            self.insert(operation.key, {"field0": f"value{operation.key}"})
+            return True
+        if op is YcsbOperationType.SCAN:
+            return self.scan(operation.key, operation.scan_length)
+        if op is YcsbOperationType.READ_MODIFY_WRITE:
+            return self.read_modify_write(operation.key, "field0", "rmw")
+        raise ValueError(f"unknown operation {operation!r}")
+
+    def _touch(self, key: int) -> int:
+        partition = self.partition_of(key)
+        self._partition_clock[partition] += 1
+        self.committed += 1
+        return partition
+
+    @property
+    def rows(self) -> int:
+        return sum(len(p) for p in self._data)
+
+    def partition_sizes(self) -> List[int]:
+        return [len(p) for p in self._data]
+
+    def partition_clocks(self) -> List[int]:
+        return list(self._partition_clock)
+
+
+# --------------------------------------------------------------------------- #
+# Performance layer                                                           #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VoltDbWorkloadProfile:
+    """Calibrated per-workload execution characteristics.
+
+    ``executor_profile`` drives the CPI stack of partition executors
+    (the component the §VI-D campaign is about: calibrated so the
+    back-end stall fraction is ≈55 % local and ≈81 % single-remote).
+    ``client_cap_ops`` is the shared YCSB client node's processing
+    bound — the reason throughput saturates long before executors do
+    ("we measured the network … not saturated; with 500 clients VoltDB
+    exhibits the same behavior").
+    """
+
+    executor_instructions: float
+    executor_profile: AccessProfile
+    response_instructions: float
+    client_cap_ops: float
+    #: Share of the client-bound pipeline executed by server threads
+    #: (and therefore sensitive to the memory configuration). Workload E
+    #: is client-dominated (large scan results), so its share is small.
+    client_server_share: float = 0.15
+
+
+#: The executor memory profile shared by key-value workloads: tuned so
+#: the CPI stack reproduces the measured 55.5 % → 80.9 % stall growth.
+_KV_EXECUTOR_PROFILE = AccessProfile(
+    memory_instruction_fraction=0.35,
+    llc_miss_ratio=0.019,
+    write_fraction=0.40,
+    write_stall_factor=0.25,
+)
+
+#: Scans stream rows sequentially — hardware prefetch keeps the miss
+#: ratio very low, which is why workload E barely feels disaggregation
+#: at any partition count (Fig. 7: "throughput is similar for all
+#: configurations").
+_SCAN_EXECUTOR_PROFILE = AccessProfile(
+    memory_instruction_fraction=0.40,
+    llc_miss_ratio=0.0015,
+    write_fraction=0.05,
+    write_stall_factor=0.25,
+)
+
+WORKLOAD_PROFILES: Dict[str, VoltDbWorkloadProfile] = {
+    "A": VoltDbWorkloadProfile(62_000, _KV_EXECUTOR_PROFILE, 24_000, 150_000),
+    "B": VoltDbWorkloadProfile(55_000, _KV_EXECUTOR_PROFILE, 24_000, 160_000),
+    "C": VoltDbWorkloadProfile(52_000, _KV_EXECUTOR_PROFILE, 24_000, 165_000),
+    "D": VoltDbWorkloadProfile(55_000, _KV_EXECUTOR_PROFILE, 24_000, 160_000),
+    "E": VoltDbWorkloadProfile(1_500_000, _SCAN_EXECUTOR_PROFILE, 180_000,
+                               11_000, client_server_share=0.05),
+    "F": VoltDbWorkloadProfile(70_000, _KV_EXECUTOR_PROFILE, 24_000, 140_000),
+}
+
+#: The response path (network handlers, txn init) is cache-friendly.
+_RESPONSE_PROFILE = AccessProfile(
+    memory_instruction_fraction=0.30,
+    llc_miss_ratio=0.006,
+    write_fraction=0.30,
+    write_stall_factor=0.25,
+)
+
+#: H-Store executors busy-poll their work queues before yielding; the
+#: polling floor keeps idle executors partially "utilized" in task-clock
+#: terms, which is why UCC grows with the partition count (Fig. 6).
+_SPIN_FLOOR = 0.25
+_SPIN_IPC = 0.35
+_BASE_SERVICE_CORES = 1.5
+_RESPONSE_THREADS = 8
+#: Inter-node coordination overhead of the two-node cluster (scale-out).
+_SCALE_OUT_COORDINATION = 0.06
+
+#: Reference environment for configuration-relative CPI ratios.
+_LOCAL_ENV = make_environment(MemoryConfigKind.LOCAL)
+
+
+@dataclass(frozen=True)
+class VoltDbMetrics:
+    """Everything Figs. 6 and 7 plot for one (workload, config, P)."""
+
+    workload: str
+    kind: MemoryConfigKind
+    partitions: int
+    throughput_ops: float
+    thread_ipc: float
+    utilized_cores: float
+    backend_stall_fraction: float
+    executor_ipc: float
+
+    @property
+    def package_ipc(self) -> float:
+        """§VI-D: package IPC = single-thread IPC × UCC."""
+        return self.thread_ipc * self.utilized_cores
+
+    def to_perf_sample(
+        self, wall_clock_s: float = 1.0, frequency_hz: float = 3.8e9
+    ):
+        """Express these metrics as raw perf counters (§VI-D methodology).
+
+        Produces exactly the events the paper's campaign collected:
+        cycles from busy-core-seconds, instructions from the thread IPC,
+        task-clock from UCC, back-end stalls from the executor stack.
+        """
+        from ..perf.counters import PerfSample
+
+        task_clock = self.utilized_cores * wall_clock_s
+        cycles = task_clock * frequency_hz
+        return PerfSample(
+            instructions=self.thread_ipc * cycles,
+            cycles=cycles,
+            task_clock_s=task_clock,
+            wall_clock_s=wall_clock_s,
+            stalled_cycles_backend=self.backend_stall_fraction * cycles,
+        )
+
+
+def _softmin(values: Iterable[float], sharpness: float = 4.0) -> float:
+    """Smooth minimum of capacity bounds (p-norm in inverse space)."""
+    total = sum(value ** (-sharpness) for value in values if value > 0)
+    return total ** (-1.0 / sharpness)
+
+
+class VoltDbModel:
+    """Analytic VoltDB under one §VI-A memory configuration."""
+
+    def __init__(
+        self,
+        environment: AccessEnvironment,
+        partitions: int,
+        cpi: Optional[CpiModel] = None,
+    ):
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1: {partitions}")
+        self.environment = environment
+        self.partitions = partitions
+        self.cpi = cpi or CpiModel()
+
+    # -- component times -----------------------------------------------------------------
+    def _executor(self, profile: VoltDbWorkloadProfile):
+        breakdown = self.cpi.evaluate(
+            profile.executor_profile, self.environment
+        )
+        service = profile.executor_instructions / (
+            breakdown.ipc * self.cpi.frequency_hz
+        )
+        return breakdown, service
+
+    def _response(self, profile: VoltDbWorkloadProfile):
+        breakdown = self.cpi.evaluate(_RESPONSE_PROFILE, self.environment)
+        service = profile.response_instructions / (
+            breakdown.ipc * self.cpi.frequency_hz
+        )
+        return breakdown, service
+
+    # -- evaluation -----------------------------------------------------------------------
+    def evaluate(self, workload_name: str) -> VoltDbMetrics:
+        if workload_name not in WORKLOAD_PROFILES:
+            raise KeyError(f"unknown YCSB workload {workload_name!r}")
+        profile = WORKLOAD_PROFILES[workload_name]
+        env = self.environment
+        exec_breakdown, exec_service = self._executor(profile)
+        resp_breakdown, resp_service = self._response(profile)
+
+        instances = env.instances
+        partitions_per_instance = max(1, self.partitions // instances)
+        executor_cap = instances * partitions_per_instance / exec_service
+        response_cap = instances * _RESPONSE_THREADS / resp_service
+        # The client bound is a pipeline shared by every configuration
+        # (one YCSB node), but a slice of it runs on server threads whose
+        # speed tracks the memory configuration via the response-path CPI.
+        local_resp = self.cpi.evaluate(_RESPONSE_PROFILE, _LOCAL_ENV)
+        cpi_ratio = resp_breakdown.total_cpi / local_resp.total_cpi
+        share = profile.client_server_share
+        client_cap = profile.client_cap_ops / (
+            (1.0 - share) + share * cpi_ratio
+        )
+        if env.kind is MemoryConfigKind.SCALE_OUT:
+            # The shared client node also funnels through cluster
+            # routing; coordination skims a few percent (§VI-D).
+            client_cap = client_cap / (1.0 + _SCALE_OUT_COORDINATION)
+        throughput = _softmin([executor_cap, response_cap, client_cap])
+
+        # Utilized cores: executors (work + polling floor) + response
+        # path + background service threads.
+        per_executor_work = throughput * exec_service / self.partitions
+        executor_utilization = min(1.0, per_executor_work + _SPIN_FLOOR)
+        executor_cores = self.partitions * executor_utilization
+        response_cores = throughput * resp_service
+        utilized = min(
+            env.total_cores,
+            executor_cores + response_cores + _BASE_SERVICE_CORES * instances,
+        )
+
+        # Busy-time-weighted thread IPC across the three thread classes.
+        work_share = self.partitions * min(1.0, per_executor_work)
+        spin_share = executor_cores - work_share
+        shares_and_ipcs = [
+            (max(work_share, 0.0), exec_breakdown.ipc),
+            (max(spin_share, 0.0), _SPIN_IPC),
+            (response_cores, resp_breakdown.ipc),
+            (_BASE_SERVICE_CORES * instances, 1.0),
+        ]
+        total_share = sum(share for share, _ipc in shares_and_ipcs)
+        thread_ipc = (
+            sum(share * ipc for share, ipc in shares_and_ipcs) / total_share
+        )
+
+        return VoltDbMetrics(
+            workload=workload_name,
+            kind=env.kind,
+            partitions=self.partitions,
+            throughput_ops=throughput,
+            thread_ipc=thread_ipc,
+            utilized_cores=utilized,
+            backend_stall_fraction=exec_breakdown.backend_stall_fraction,
+            executor_ipc=exec_breakdown.ipc,
+        )

@@ -1,0 +1,39 @@
+"""Datacentre-scale motivation study (Fig. 1): trace, models, scheduler."""
+
+from .models import (
+    AllocationFailure,
+    DisaggregatedDatacentre,
+    FixedDatacentre,
+    Placement,
+)
+from .simulation import (
+    UtilizationReport,
+    replay_trace,
+    run_fig1_experiment,
+    scaled_trace_config,
+)
+from .trace import (
+    EventKind,
+    TaskRequest,
+    TraceConfig,
+    TraceEvent,
+    ratio_span_orders_of_magnitude,
+    synthesize_trace,
+)
+
+__all__ = [
+    "TaskRequest",
+    "TraceEvent",
+    "EventKind",
+    "TraceConfig",
+    "synthesize_trace",
+    "ratio_span_orders_of_magnitude",
+    "FixedDatacentre",
+    "DisaggregatedDatacentre",
+    "Placement",
+    "AllocationFailure",
+    "UtilizationReport",
+    "replay_trace",
+    "run_fig1_experiment",
+    "scaled_trace_config",
+]

@@ -1,0 +1,144 @@
+"""Synthetic Google ClusterData-like trace — paper §II / Fig. 1.
+
+The motivation study "consumes entries from the publicly available
+Google ClusterData trace and simulates resource allocation/deallocation
+requests". The trace itself is multi-GB and not redistributable, so we
+synthesize a request stream matching its published statistics (Reiss et
+al. [1], [16]):
+
+* 12 555 machines, capacities normalized to 1.0 per resource;
+* task CPU and memory requests are small fractions of a machine,
+  heavy-tailed (lognormal body);
+* memory/CPU demand ratios "span across three orders of magnitude"
+  (§I) — CPU and memory draws are only loosely correlated;
+* tasks arrive over time and run for heavy-tailed durations.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..sim.rng import SeededRNG
+
+__all__ = ["TaskRequest", "TraceEvent", "EventKind", "TraceConfig",
+           "synthesize_trace"]
+
+
+class EventKind(enum.Enum):
+    SUBMIT = "submit"
+    FINISH = "finish"
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """One task's resource request (machine-normalized units)."""
+
+    task_id: int
+    cpu: float
+    memory: float
+    submit_time: float
+    duration: float
+
+    def __post_init__(self):
+        if not 0 < self.cpu <= 1.0:
+            raise ValueError(f"cpu request out of (0,1]: {self.cpu}")
+        if not 0 < self.memory <= 1.0:
+            raise ValueError(f"memory request out of (0,1]: {self.memory}")
+
+    @property
+    def memory_cpu_ratio(self) -> float:
+        return self.memory / self.cpu
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: EventKind
+    task: TaskRequest
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape parameters of the synthetic trace.
+
+    Defaults are calibrated so the Fig. 1 experiment reproduces the
+    paper's utilization picture: a near-saturated datacentre where the
+    fixed model strands CPU and (especially) memory inside
+    partially-allocated servers.
+    """
+
+    tasks: int = 20_000
+    seed: int = 17
+    #: lognormal parameters of the CPU request (machine fraction).
+    #: Calibrated so steady-state CPU demand saturates capacity — the
+    #: regime in which the Fig. 1 fragmentation indices emerge.
+    cpu_log_mean: float = -2.9885
+    cpu_log_sigma: float = 1.1
+    #: memory = cpu * ratio; the ratio's spread gives the 3-orders-of-
+    #: magnitude memory/CPU range the paper cites (sigma 1.4 ≈ 3.4
+    #: decades between the 0.5th and 99.5th percentile). The mean ratio
+    #: of 0.9 puts steady memory demand near 2/3 of capacity.
+    ratio_log_mean: float = -1.0854
+    ratio_log_sigma: float = 1.4
+    #: mean task inter-arrival (arbitrary time units) and duration; at
+    #: 0.8 the steady concurrency slightly exceeds CPU capacity, so the
+    #: best-fit scheduler operates under queue pressure like the trace.
+    mean_interarrival: float = 0.8
+    mean_duration: float = 4_000.0
+
+    def __post_init__(self):
+        if self.tasks < 1:
+            raise ValueError(f"tasks must be >= 1: {self.tasks}")
+
+
+def synthesize_task(task_id: int, now: float, config: TraceConfig,
+                    rng: SeededRNG) -> TaskRequest:
+    cpu = min(1.0, max(1e-4, rng.lognormal(config.cpu_log_mean,
+                                           config.cpu_log_sigma)))
+    ratio = rng.lognormal(config.ratio_log_mean, config.ratio_log_sigma)
+    memory = min(1.0, max(1e-4, cpu * ratio))
+    duration = max(1.0, rng.exponential(config.mean_duration))
+    return TaskRequest(
+        task_id=task_id,
+        cpu=cpu,
+        memory=memory,
+        submit_time=now,
+        duration=duration,
+    )
+
+
+def synthesize_trace(config: Optional[TraceConfig] = None) -> List[TraceEvent]:
+    """Generate a time-ordered SUBMIT/FINISH event stream."""
+    config = config or TraceConfig()
+    rng = SeededRNG(config.seed).derive("cluster-trace")
+    events: List[TraceEvent] = []
+    now = 0.0
+    for task_id in range(config.tasks):
+        now += rng.exponential(config.mean_interarrival)
+        task = synthesize_task(task_id, now, config, rng)
+        events.append(TraceEvent(now, EventKind.SUBMIT, task))
+        events.append(
+            TraceEvent(now + task.duration, EventKind.FINISH, task)
+        )
+    events.sort(key=lambda e: (e.time, e.kind is EventKind.SUBMIT,
+                               e.task.task_id))
+    return events
+
+
+def ratio_span_orders_of_magnitude(events: Iterator[TraceEvent]) -> float:
+    """Log10 spread of memory/CPU ratios (sanity: should be ≈ 3)."""
+    import math
+
+    ratios = sorted(
+        event.task.memory_cpu_ratio
+        for event in events
+        if event.kind is EventKind.SUBMIT
+    )
+    if not ratios:
+        return 0.0
+    low = ratios[int(0.005 * (len(ratios) - 1))]
+    high = ratios[int(0.995 * (len(ratios) - 1))]
+    return math.log10(high / low)

@@ -1,0 +1,34 @@
+"""Software-defined control plane: state graph, planning, security, REST."""
+
+from .api import RestApi
+from .graph import GraphError, NodeKind, StateGraph
+from .orchestrator import Attachment, ControlPlane, OrchestrationError
+from .planner import NoPathError, PathPlanner, PlannedPath
+from .security import (
+    AccessControl,
+    AuthError,
+    Permission,
+    PlaneTrust,
+    Role,
+)
+from .switching import SwitchDriver, extract_switch_hops
+
+__all__ = [
+    "ControlPlane",
+    "Attachment",
+    "OrchestrationError",
+    "StateGraph",
+    "NodeKind",
+    "GraphError",
+    "PathPlanner",
+    "PlannedPath",
+    "NoPathError",
+    "AccessControl",
+    "Role",
+    "Permission",
+    "AuthError",
+    "PlaneTrust",
+    "RestApi",
+    "SwitchDriver",
+    "extract_switch_hops",
+]

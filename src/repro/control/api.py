@@ -1,0 +1,109 @@
+"""REST-style system access interface — paper §IV-C.
+
+"The various remote memory allocation/deallocation interactions occur
+via a REST API." This module shapes the orchestrator as an HTTP-ish
+request handler (method, path, body, bearer token) → (status, body)
+without binding a socket, so tests and examples drive the exact same
+surface an administrator or a cloud-orchestration plugin would.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from ..mem.address import AddressError
+from .graph import GraphError
+from .orchestrator import ControlPlane, OrchestrationError
+from .planner import NoPathError
+from .security import AuthError
+
+__all__ = ["RestApi"]
+
+_ATTACHMENT_PATH = re.compile(r"^/v1/attachments/(\d+)$")
+
+
+class RestApi:
+    """In-process REST facade over :class:`ControlPlane`.
+
+    Routes::
+
+        GET    /v1/state
+        GET    /v1/attachments
+        POST   /v1/attachments    {"compute_host", "size",
+                                   ["memory_host"], ["bonded"]}
+        GET    /v1/attachments/<id>
+        DELETE /v1/attachments/<id>
+    """
+
+    def __init__(self, plane: ControlPlane):
+        self.plane = plane
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        token: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
+        """Dispatch one request; returns (status code, response body)."""
+        try:
+            return self._route(method.upper(), path, body or {}, token)
+        except AuthError as exc:
+            return 401, {"error": str(exc)}
+        except (NoPathError, GraphError) as exc:
+            return 409, {"error": str(exc)}
+        except OrchestrationError as exc:
+            message = str(exc)
+            status = 404 if "unknown attachment" in message else 409
+            return status, {"error": message}
+        except (AddressError, MemoryError, ValueError, KeyError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- routing -------------------------------------------------------------------
+    def _route(
+        self, method: str, path: str, body: Dict, token: Optional[str]
+    ) -> Tuple[int, Dict]:
+        if path == "/v1/state" and method == "GET":
+            return 200, {"state": self.plane.system_state(token=token)}
+
+        if path == "/v1/attachments":
+            if method == "GET":
+                return 200, {
+                    "attachments": [
+                        a.describe() for a in self.plane.attachments(token=token)
+                    ]
+                }
+            if method == "POST":
+                return self._create(body, token)
+            return 405, {"error": f"{method} not allowed on {path}"}
+
+        match = _ATTACHMENT_PATH.match(path)
+        if match:
+            attachment_id = int(match.group(1))
+            if method == "GET":
+                attachment = self.plane.attachment(attachment_id, token=token)
+                return 200, attachment.describe()
+            if method == "DELETE":
+                self.plane.detach(attachment_id, token=token)
+                return 204, {}
+            return 405, {"error": f"{method} not allowed on {path}"}
+
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _create(self, body: Dict, token: Optional[str]) -> Tuple[int, Dict]:
+        try:
+            compute_host = body["compute_host"]
+            size = int(body["size"])
+        except KeyError as exc:
+            return 400, {"error": f"missing field {exc}"}
+        if size <= 0:
+            return 400, {"error": f"size must be > 0, got {size}"}
+        attachment = self.plane.attach(
+            compute_host,
+            size,
+            memory_host=body.get("memory_host"),
+            bonded=bool(body.get("bonded", False)),
+            token=token,
+        )
+        return 201, attachment.describe()

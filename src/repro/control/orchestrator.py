@@ -1,0 +1,359 @@
+"""The ThymesisFlow control plane orchestrator — paper §IV-C.
+
+Owns the four responsibilities the paper assigns to the control plane:
+"i) system state maintenance, ii) configuration of ThymesisFlow
+endpoints and possible intermediate switching layers, iii) system
+access interface, and iv) security and access control."
+
+The orchestrator never touches hardware directly: it plans over the
+state graph, then pushes signed configurations to the per-host agents
+(donor steal first, then compute attach) — mirroring the
+Janusgraph-backed daemon of the prototype.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flow import ActiveFlow, FlowTable
+from ..mem.address import AddressError, AddressRange, AddressSpaceAllocator
+from ..mem.numa import LOCAL_DISTANCE
+from ..osmodel.agent import AttachPlan, StealGrant, ThymesisFlowAgent
+from .graph import GraphError, StateGraph
+from .planner import NoPathError, PathPlanner, PlannedPath
+from .security import AccessControl, AuthError, Permission, PlaneTrust, Role
+from .switching import SwitchDriver, extract_switch_hops
+
+__all__ = ["ControlPlane", "Attachment", "OrchestrationError"]
+
+#: Unloaded single-hop remote access latency (measured prototype RTT).
+BASE_REMOTE_LATENCY_S = 950e-9
+
+#: Extra latency per intermediate switching layer on the planned path.
+PER_SWITCH_HOP_S = 100e-9
+
+#: Local DRAM latency used to derive SLIT distances for remote nodes.
+LOCAL_DRAM_LATENCY_S = 85e-9
+
+#: Remote NUMA node ids handed to compute kernels start here.
+REMOTE_NODE_ID_BASE = 100
+
+
+class OrchestrationError(RuntimeError):
+    """Attach/detach workflow failure."""
+
+
+@dataclass
+class _HostRecord:
+    agent: ThymesisFlowAgent
+    section_pool: AddressSpaceAllocator
+    next_remote_node: int = REMOTE_NODE_ID_BASE
+
+
+@dataclass
+class Attachment:
+    """One live disaggregated-memory attachment."""
+
+    attachment_id: int
+    compute_host: str
+    memory_host: str
+    size: int
+    flow: ActiveFlow
+    plan: AttachPlan
+    grant: StealGrant
+    path: PlannedPath
+    section_run: AddressRange  # run in section-index space
+
+    def describe(self) -> Dict:
+        return {
+            "id": self.attachment_id,
+            "compute_host": self.compute_host,
+            "memory_host": self.memory_host,
+            "size": self.size,
+            "network_id": self.flow.network_id,
+            "bonded": self.flow.bonded,
+            "channels": list(self.flow.channels),
+            "numa_node": self.plan.numa_node_id,
+            "sections": self.plan.section_indices,
+        }
+
+
+class ControlPlane:
+    """Software-defined attach/detach of disaggregated memory."""
+
+    def __init__(
+        self,
+        state: Optional[StateGraph] = None,
+        acl: Optional[AccessControl] = None,
+        trust: Optional[PlaneTrust] = None,
+    ):
+        self.state = state or StateGraph()
+        self.planner = PathPlanner(self.state)
+        self.acl = acl or AccessControl()
+        self.trust = trust or PlaneTrust.generate()
+        self.flows = FlowTable()
+        self._hosts: Dict[str, _HostRecord] = {}
+        self._switch_drivers: Dict[str, SwitchDriver] = {}
+        self._attachments: Dict[int, Attachment] = {}
+        self._next_attachment = 1
+        self.audit_log: List[str] = []
+
+    # -- inventory ------------------------------------------------------------------
+    def register_host(
+        self,
+        agent: ThymesisFlowAgent,
+        transceivers: int = 2,
+        donor_capacity_bytes: int = 0,
+        channel_capacity: int = 64,
+    ) -> None:
+        """Register one host (its agent + endpoints) with the plane."""
+        host = agent.hostname
+        if host in self._hosts:
+            raise OrchestrationError(f"host {host!r} already registered")
+        self.state.add_host(
+            host,
+            transceivers=transceivers,
+            channel_capacity=channel_capacity,
+            donor_capacity_bytes=donor_capacity_bytes,
+        )
+        table_entries = agent.device.rmmu.table_entries
+        window = agent.device.compute.window
+        if window is not None:
+            usable = min(
+                table_entries, window.size // agent.kernel.section_bytes
+            )
+        else:
+            usable = table_entries
+        self._hosts[host] = _HostRecord(
+            agent=agent,
+            section_pool=AddressSpaceAllocator(
+                AddressRange(0, usable), name=f"{host}/sections"
+            ),
+        )
+        self.audit_log.append(f"register host {host}")
+
+    def add_cable(
+        self, host_a: str, channel_a: int, host_b: str, channel_b: int
+    ) -> None:
+        self.state.add_cable(
+            self.state.xcvr(host_a, channel_a),
+            self.state.xcvr(host_b, channel_b),
+        )
+
+    def add_switch(self, switch: str, ports: int,
+                   driver: Optional[SwitchDriver] = None) -> None:
+        """Register a switching layer; ``driver`` binds it to hardware."""
+        self.state.add_switch(switch, ports)
+        if driver is not None:
+            self._switch_drivers[switch] = driver
+
+    def add_switch_cable(self, host: str, channel: int, switch: str,
+                         port: int) -> None:
+        self.state.add_cable(
+            self.state.xcvr(host, channel),
+            self.state.switch_port(switch, port),
+        )
+
+    # -- attach workflow ---------------------------------------------------------------
+    def attach(
+        self,
+        compute_host: str,
+        size: int,
+        memory_host: Optional[str] = None,
+        bonded: bool = False,
+        token: Optional[str] = None,
+    ) -> Attachment:
+        """Allocate ``size`` bytes of disaggregated memory to a host.
+
+        Full §IV-C workflow: authorize → pick donor → plan + reserve a
+        path → steal on the donor → allocate flow + device sections →
+        push the signed attach plan to the compute agent.
+        """
+        self.acl.require(token, Permission.ATTACH)
+        record = self._host(compute_host)
+        section_bytes = record.agent.kernel.section_bytes
+        size = -(-size // section_bytes) * section_bytes
+        if memory_host is None:
+            memory_host = self.planner.pick_donor(compute_host, size)
+        donor_record = self._host(memory_host)
+
+        path = self.planner.plan(
+            compute_host, memory_host, channels=2 if bonded else 1
+        )
+        try:
+            self.state.reserve_donor_memory(memory_host, size)
+        except GraphError:
+            self.planner.release(path)
+            raise
+        grant: Optional[StealGrant] = None
+        flow: Optional[ActiveFlow] = None
+        section_run: Optional[AddressRange] = None
+        try:
+            grant = donor_record.agent.steal_memory(size)
+            section_run = record.section_pool.allocate(
+                size // section_bytes, alignment=1
+            )
+            flow = self.flows.allocate(
+                compute_host,
+                memory_host,
+                section_index=section_run.start,
+                channels=path.channel_indices,
+                bonded=bonded,
+            )
+            plan = self._build_plan(record, flow, grant, path, section_run)
+            self._configure_switches(path)
+            try:
+                self._verify_and_apply(record.agent, plan)
+            except Exception:
+                self._teardown_switches(path)
+                raise
+        except Exception:
+            # Unwind partial state in reverse order.
+            if flow is not None:
+                self.flows.release(flow.network_id)
+            if section_run is not None:
+                record.section_pool.free(section_run)
+            if grant is not None:
+                donor_record.agent.release_grant(grant)
+            self.state.release_donor_memory(memory_host, size)
+            self.planner.release(path)
+            raise
+        attachment = Attachment(
+            attachment_id=self._next_attachment,
+            compute_host=compute_host,
+            memory_host=memory_host,
+            size=size,
+            flow=flow,
+            plan=plan,
+            grant=grant,
+            path=path,
+            section_run=section_run,
+        )
+        self._next_attachment += 1
+        self._attachments[attachment.attachment_id] = attachment
+        self.audit_log.append(
+            f"attach #{attachment.attachment_id}: {size >> 20} MiB "
+            f"{memory_host} -> {compute_host}"
+            + (" (bonded)" if bonded else "")
+        )
+        return attachment
+
+    def detach(self, attachment_id: int, token: Optional[str] = None) -> None:
+        """Tear an attachment down (reverse order of attach)."""
+        self.acl.require(token, Permission.DETACH)
+        try:
+            attachment = self._attachments.pop(attachment_id)
+        except KeyError:
+            raise OrchestrationError(
+                f"unknown attachment {attachment_id}"
+            ) from None
+        record = self._host(attachment.compute_host)
+        donor = self._host(attachment.memory_host)
+        record.agent.detach_remote_memory(attachment.plan)
+        self._teardown_switches(attachment.path)
+        donor.agent.release_grant(attachment.grant)
+        self.flows.release(attachment.flow.network_id)
+        record.section_pool.free(attachment.section_run)
+        self.state.release_donor_memory(
+            attachment.memory_host, attachment.size
+        )
+        self.planner.release(attachment.path)
+        self.audit_log.append(f"detach #{attachment_id}")
+
+    # -- queries --------------------------------------------------------------------------
+    def attachments(self, token: Optional[str] = None) -> List[Attachment]:
+        self.acl.require(token, Permission.READ_STATE)
+        return [self._attachments[k] for k in sorted(self._attachments)]
+
+    def attachment(self, attachment_id: int,
+                   token: Optional[str] = None) -> Attachment:
+        self.acl.require(token, Permission.READ_STATE)
+        try:
+            return self._attachments[attachment_id]
+        except KeyError:
+            raise OrchestrationError(
+                f"unknown attachment {attachment_id}"
+            ) from None
+
+    def system_state(self, token: Optional[str] = None) -> Dict:
+        self.acl.require(token, Permission.READ_STATE)
+        return self.state.snapshot()
+
+    # -- internals ----------------------------------------------------------------------
+    def _host(self, host: str) -> _HostRecord:
+        try:
+            return self._hosts[host]
+        except KeyError:
+            raise OrchestrationError(f"unknown host {host!r}") from None
+
+    def _build_plan(
+        self,
+        record: _HostRecord,
+        flow: ActiveFlow,
+        grant: StealGrant,
+        path: PlannedPath,
+        section_run: AddressRange,
+    ) -> AttachPlan:
+        switch_hops = max(0, path.hop_count - 2)
+        remote_latency = BASE_REMOTE_LATENCY_S + switch_hops * PER_SWITCH_HOP_S
+        distance = max(
+            LOCAL_DISTANCE,
+            round(LOCAL_DISTANCE * remote_latency / LOCAL_DRAM_LATENCY_S),
+        )
+        node_id = record.next_remote_node
+        record.next_remote_node += 1
+        return AttachPlan(
+            section_indices=list(
+                range(section_run.start, section_run.end)
+            ),
+            donor_effective_base=grant.effective_base,
+            wire_network_id=flow.wire_network_id,
+            channels=list(flow.channels),
+            numa_node_id=node_id,
+            numa_distance=distance,
+            remote_latency_s=remote_latency,
+        )
+
+    def _switch_hops(self, path: PlannedPath):
+        for node_path in path.node_paths:
+            for switch_name, driver in self._switch_drivers.items():
+                for ingress, egress in extract_switch_hops(
+                    node_path, switch_name
+                ):
+                    yield driver, ingress, egress
+
+    def _configure_switches(self, path: PlannedPath) -> None:
+        """Push bidirectional circuits for every switch hop on the path."""
+        configured = []
+        try:
+            for driver, ingress, egress in self._switch_hops(path):
+                driver.connect(ingress, egress)
+                configured.append((driver, ingress, egress))
+        except Exception:
+            for driver, ingress, egress in reversed(configured):
+                driver.disconnect(ingress, egress)
+            raise
+
+    def _teardown_switches(self, path: PlannedPath) -> None:
+        for driver, ingress, egress in self._switch_hops(path):
+            driver.disconnect(ingress, egress)
+
+    def _verify_and_apply(
+        self, agent: ThymesisFlowAgent, plan: AttachPlan
+    ) -> None:
+        """Sign the plan; the agent applies only verified configs."""
+        payload = json.dumps(
+            {
+                "sections": plan.section_indices,
+                "donor_base": plan.donor_effective_base,
+                "network_id": plan.wire_network_id,
+            },
+            sort_keys=True,
+        ).encode()
+        signature = self.trust.sign(payload)
+        if not self.trust.verify(payload, signature):
+            raise AuthError("configuration signature invalid")
+        agent.attach_remote_memory(plan)
+

@@ -1,0 +1,170 @@
+"""Path planning over the control-plane state graph.
+
+"For each disaggregated memory allocation request, the control plane
+traverses the graph looking for the best available path connecting the
+compute and memory stealing endpoints involved. Once a suitable path is
+found and its resources are reserved, the control plane generates the
+suitable configurations and pushes them to the appropriate agents."
+(§IV-C)
+
+Paths are ranked by hop count (fewer switch crossings = lower RTT) and
+then by how loaded their transceivers are, which spreads flows across
+channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from .graph import GraphError, NodeKind, StateGraph
+
+__all__ = ["PathPlanner", "PlannedPath", "NoPathError"]
+
+
+class NoPathError(GraphError):
+    """No usable path between the requested endpoints."""
+
+
+@dataclass(frozen=True)
+class PlannedPath:
+    """A reserved route between a compute and a memory endpoint.
+
+    ``channel_indices`` are the compute-side transceiver (channel)
+    numbers the flow will use — what the agent programs into the route
+    table. ``reserved_nodes`` is everything the planner reserved, for
+    symmetric release.
+    """
+
+    compute_host: str
+    memory_host: str
+    channel_indices: Tuple[int, ...]
+    reserved_nodes: Tuple[str, ...]
+    hop_count: int
+    #: Full cep→…→mep node sequences, one per planned channel. Used by
+    #: the orchestrator to program intermediate switching layers.
+    node_paths: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def bonded(self) -> bool:
+        return len(self.channel_indices) > 1
+
+
+class PathPlanner:
+    """Finds and reserves channel paths between endpoint pairs."""
+
+    def __init__(self, state: StateGraph):
+        self.state = state
+
+    # -- path discovery ---------------------------------------------------------------
+    def candidate_paths(
+        self, compute_host: str, memory_host: str
+    ) -> List[List[str]]:
+        """All simple cep→mep paths with free capacity, best first."""
+        graph = self.state.graph
+        source = self.state.cep(compute_host)
+        target = self.state.mep(memory_host)
+        if not graph.has_node(source) or not graph.has_node(target):
+            raise NoPathError(
+                f"unknown endpoint(s): {compute_host!r} / {memory_host!r}"
+            )
+        usable = []
+        try:
+            paths = nx.all_simple_paths(graph, source, target, cutoff=6)
+        except nx.NetworkXError as exc:  # pragma: no cover - defensive
+            raise NoPathError(str(exc)) from exc
+        for path in paths:
+            middle = path[1:-1]
+            if any(
+                graph.nodes[node]["kind"]
+                in (NodeKind.COMPUTE_ENDPOINT, NodeKind.MEMORY_ENDPOINT)
+                for node in middle
+            ):
+                continue  # paths must not tunnel through other endpoints
+            if all(self.state.free_capacity(node) > 0 for node in middle):
+                usable.append(path)
+        usable.sort(
+            key=lambda p: (
+                len(p),
+                -min(self.state.free_capacity(n) for n in p[1:-1]),
+            )
+        )
+        return usable
+
+    # -- reservation -------------------------------------------------------------------
+    def plan(
+        self,
+        compute_host: str,
+        memory_host: str,
+        channels: int = 1,
+    ) -> PlannedPath:
+        """Reserve ``channels`` disjoint paths (2 = bonding).
+
+        Raises :class:`NoPathError` when fewer than ``channels`` disjoint
+        usable paths exist.
+        """
+        if channels < 1:
+            raise GraphError(f"channels must be >= 1: {channels}")
+        if compute_host == memory_host:
+            raise GraphError("compute and memory host must differ")
+        chosen: List[List[str]] = []
+        used_transceivers: set = set()
+        for path in self.candidate_paths(compute_host, memory_host):
+            middle = set(path[1:-1])
+            if middle & used_transceivers:
+                continue  # bonded channels must be physically disjoint
+            chosen.append(path)
+            used_transceivers |= middle
+            if len(chosen) == channels:
+                break
+        if len(chosen) < channels:
+            raise NoPathError(
+                f"only {len(chosen)} disjoint path(s) from "
+                f"{compute_host} to {memory_host}, need {channels}"
+            )
+        reserved: List[str] = []
+        channel_indices: List[int] = []
+        for path in chosen:
+            middle = path[1:-1]
+            self.state.reserve(middle)
+            reserved.extend(middle)
+            first_xcvr = middle[0]
+            channel_indices.append(
+                self.state.node_attr(first_xcvr, "channel")
+            )
+        return PlannedPath(
+            compute_host=compute_host,
+            memory_host=memory_host,
+            channel_indices=tuple(channel_indices),
+            reserved_nodes=tuple(reserved),
+            hop_count=max(len(path) - 2 for path in chosen),
+            node_paths=tuple(tuple(path) for path in chosen),
+        )
+
+    def release(self, planned: PlannedPath) -> None:
+        self.state.release(planned.reserved_nodes)
+
+    # -- donor selection ----------------------------------------------------------------
+    def pick_donor(
+        self, compute_host: str, size: int, exclude: Tuple[str, ...] = ()
+    ) -> str:
+        """Choose the donor with the most free memory that is reachable."""
+        best: Optional[Tuple[int, str]] = None
+        for host in self.state.hosts():
+            if host == compute_host or host in exclude:
+                continue
+            free = self.state.donor_free(host)
+            if free < size:
+                continue
+            if not self.candidate_paths(compute_host, host):
+                continue
+            if best is None or free > best[0]:
+                best = (free, host)
+        if best is None:
+            raise NoPathError(
+                f"no reachable donor with {size} bytes free for "
+                f"{compute_host}"
+            )
+        return best[1]

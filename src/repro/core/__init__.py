@@ -1,0 +1,40 @@
+"""The ThymesisFlow datapath: RMMU, LLC, routing, endpoints, device."""
+
+from .device import ThymesisFlowDevice
+from .endpoints import ComputeEndpoint, EndpointError, MemoryStealingEndpoint
+from .hbm import HbmCache, HbmCacheConfig
+from .flow import (
+    BONDING_FLAG,
+    ActiveFlow,
+    FlowError,
+    FlowTable,
+    base_network_id,
+    is_bonded_wire_id,
+)
+from .llc import Frame, LlcConfig, LlcEndpoint, LlcError
+from .rmmu import Rmmu, RmmuFault, SectionEntry
+from .routing import RoutingError, RoutingLayer
+
+__all__ = [
+    "ThymesisFlowDevice",
+    "ComputeEndpoint",
+    "HbmCache",
+    "HbmCacheConfig",
+    "MemoryStealingEndpoint",
+    "EndpointError",
+    "ActiveFlow",
+    "FlowTable",
+    "FlowError",
+    "BONDING_FLAG",
+    "base_network_id",
+    "is_bonded_wire_id",
+    "LlcEndpoint",
+    "LlcConfig",
+    "Frame",
+    "LlcError",
+    "Rmmu",
+    "RmmuFault",
+    "SectionEntry",
+    "RoutingLayer",
+    "RoutingError",
+]

@@ -1,0 +1,190 @@
+"""ThymesisFlow endpoint attachment modules — paper §IV-A1/§IV-A2.
+
+* :class:`ComputeEndpoint` — the recipient side. Receives cacheline
+  transactions from the host bus (through an OpenCAPI **M1** port),
+  re-bases them into the device-internal address space, translates them
+  through the RMMU (donor effective address + network id) and forwards
+  them via the routing layer. Matches responses to outstanding requests
+  by transaction id.
+* :class:`MemoryStealingEndpoint` — the donor side. Entirely passive:
+  it masters arriving transactions into the donor's effective address
+  space through an OpenCAPI **C1** port (authorized by the stealing
+  process's PASID) and sends each response back on the channel the
+  request arrived from, echoing the request's network identifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..mem.address import AddressRange
+from ..opencapi.ports import OpenCapiC1Port
+from ..opencapi.transactions import MemTransaction, ResponseCode
+from ..sim.engine import Process, Signal, Simulator
+from ..sim.stats import LatencyRecorder
+from .hbm import HbmCache
+from .rmmu import Rmmu, RmmuFault
+from .routing import RoutingLayer
+
+__all__ = ["ComputeEndpoint", "MemoryStealingEndpoint", "EndpointError"]
+
+
+class EndpointError(RuntimeError):
+    """Endpoint misconfiguration (datapath errors become bus responses)."""
+
+
+class ComputeEndpoint:
+    """Introduces remote memory into the host's real address space.
+
+    Acts as a :class:`~repro.opencapi.bus.BusTarget` (behind the M1
+    port): firmware maps ``window`` in the host real address space; the
+    device-internal view of an arriving transaction is its offset within
+    that window ("the Device Internal Address Space is always starting
+    from address 0x0").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rmmu: Rmmu,
+        routing: RoutingLayer,
+        name: str = "compute-ep",
+        transaction_timeout_s: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.rmmu = rmmu
+        self.routing = routing
+        self.name = name
+        #: When set, an outstanding transaction older than this is failed
+        #: back to the bus (donor crash / unrecoverable link loss).
+        self.transaction_timeout_s = transaction_timeout_s
+        self.window: Optional[AddressRange] = None
+        self.hbm: Optional[HbmCache] = None
+        self._outstanding: Dict[int, Signal] = {}
+        self.rtt = LatencyRecorder(f"{name}.rtt")
+        self.requests = 0
+        self.hbm_hits = 0
+        self.fault_responses = 0
+        self.timeouts = 0
+
+    def assign_window(self, window: AddressRange) -> None:
+        """Firmware assigns the real-address window backing this device."""
+        self.window = window
+
+    def enable_hbm_cache(self, cache: HbmCache) -> None:
+        """Install the §VII HBM caching layer in front of the RMMU."""
+        self.hbm = cache
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    # -- BusTarget protocol ----------------------------------------------------------
+    def handle(self, txn: MemTransaction) -> Process:
+        return self.sim.process(self._handle(txn), name=f"{self.name}.txn")
+
+    def _handle(self, txn: MemTransaction) -> Generator:
+        if self.window is None:
+            raise EndpointError(f"{self.name}: no window assigned")
+        started = self.sim.now
+        self.requests += 1
+        internal_address = self.window.offset_of(txn.address)
+        # HBM caching layer (§VII): reads that hit never leave the card.
+        if self.hbm is not None and txn.command.name == "RD_MEM":
+            cached = self.hbm.lookup(internal_address, txn.size)
+            if cached is not None:
+                self.hbm_hits += 1
+                yield self.sim.timeout(self.hbm.config.hit_latency_s)
+                self.rtt.add(self.sim.now - started)
+                return txn.make_response(data=cached)
+        try:
+            remote_address, network_id = self.rmmu.translate(internal_address)
+        except RmmuFault:
+            self.fault_responses += 1
+            return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
+        outbound = txn.with_address(remote_address)
+        outbound.network_id = network_id
+        done = Signal(name=f"{self.name}.txn{outbound.txn_id}", oneshot=True)
+        self._outstanding[outbound.txn_id] = done
+        if self.transaction_timeout_s is not None:
+            self.sim.schedule(
+                self.transaction_timeout_s, self._expire, outbound.txn_id
+            )
+        yield self.routing.forward(outbound)
+        response = yield done
+        if response is None:
+            # Watchdog fired: the donor (or every path to it) is gone.
+            self.timeouts += 1
+            return txn.make_response(code=ResponseCode.RETRY)
+        self.rtt.add(self.sim.now - started)
+        if self.hbm is not None:
+            if txn.command.name == "RD_MEM" and response.data is not None:
+                self.hbm.fill(internal_address, response.data)
+            elif txn.command.name == "WRITE_MEM" and txn.data is not None:
+                self.hbm.write_through(internal_address, txn.data)
+        return response
+
+    def _expire(self, txn_id: int) -> None:
+        pending = self._outstanding.pop(txn_id, None)
+        if pending is not None:
+            pending.fire(None)
+
+    # -- network ingress (responses coming back) ----------------------------------------
+    def deliver_response(self, txn: MemTransaction, channel: int) -> None:
+        if not txn.is_response:
+            raise EndpointError(
+                f"{self.name}: unexpected non-response on network: {txn!r}"
+            )
+        done = self._outstanding.pop(txn.txn_id, None)
+        if done is None:
+            # A response for a request satisfied by replayed duplicate —
+            # drop it; the id matcher already completed the bus txn.
+            return
+        done.fire(txn)
+
+
+class MemoryStealingEndpoint:
+    """Exposes donated local memory to a remote compute node.
+
+    Configured once with the stealing process's PASID; afterwards "the
+    memory-stealing endpoint is passive and does not require further
+    configuration" — every arriving request is mastered into host memory
+    and answered on its arrival channel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        c1_port: OpenCapiC1Port,
+        routing: RoutingLayer,
+        name: str = "memory-ep",
+    ):
+        self.sim = sim
+        self.c1 = c1_port
+        self.routing = routing
+        self.name = name
+        self.pasid: Optional[int] = None
+        self.served = 0
+        self.denied = 0
+
+    def set_pasid(self, pasid: int) -> None:
+        """Register the memory-stealing process's address space id."""
+        self.pasid = pasid
+
+    def deliver_request(self, txn: MemTransaction, channel: int) -> None:
+        if not txn.is_request:
+            raise EndpointError(
+                f"{self.name}: unexpected non-request on network: {txn!r}"
+            )
+        self.sim.process(self._serve(txn), name=f"{self.name}.serve")
+
+    def _serve(self, txn: MemTransaction) -> Generator:
+        txn.pasid = self.pasid
+        response = yield self.c1.master(txn)
+        if response.response_code is ResponseCode.ACCESS_DENIED:
+            self.denied += 1
+        else:
+            self.served += 1
+        response.arrival_channel = txn.arrival_channel
+        response.network_id = txn.network_id
+        yield self.routing.forward_response(response)

@@ -1,0 +1,139 @@
+"""Active thymesisflow bookkeeping.
+
+"The architecture logically groups all transactions (and their
+responses) in-transit between a given compute and memory-stealing
+endpoint, and belonging to a specific section, as an *active
+thymesisflow*. Each active thymesisflow is associated with a unique
+network identifier." (§IV-A1)
+
+The network identifier is stamped into transaction headers by the RMMU
+and consumed by the routing layer; it also carries the bonding mode
+in-band ("the bonding mode is enabled in-band by appropriate transaction
+header network identifiers on a per active thymesisflow basis",
+§IV-A3). We model that by reserving the top bit of the identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ActiveFlow", "FlowTable", "FlowError", "BONDING_FLAG"]
+
+#: In-band bonding flag carried in the network identifier.
+BONDING_FLAG = 1 << 15
+
+#: Network ids are 15-bit values (bit 15 carries the bonding mode).
+MAX_NETWORK_ID = BONDING_FLAG - 1
+
+
+class FlowError(RuntimeError):
+    """Flow-table exhaustion or inconsistent flow configuration."""
+
+
+@dataclass
+class ActiveFlow:
+    """One active thymesisflow: a (compute, donor, section) association."""
+
+    network_id: int
+    compute_node: str
+    memory_node: str
+    section_index: int
+    bonded: bool = False
+    channels: Tuple[int, ...] = (0,)
+
+    @property
+    def wire_network_id(self) -> int:
+        """The identifier as it appears in transaction headers."""
+        return self.network_id | (BONDING_FLAG if self.bonded else 0)
+
+    def __post_init__(self):
+        if not 0 <= self.network_id <= MAX_NETWORK_ID:
+            raise FlowError(
+                f"network id {self.network_id} out of range "
+                f"[0, {MAX_NETWORK_ID}]"
+            )
+        if not self.channels:
+            raise FlowError("flow must use at least one channel")
+        if self.bonded and len(self.channels) < 2:
+            raise FlowError("bonded flow needs >= 2 channels")
+
+
+def is_bonded_wire_id(wire_network_id: int) -> bool:
+    """Decode the in-band bonding flag from a header identifier."""
+    return bool(wire_network_id & BONDING_FLAG)
+
+
+def base_network_id(wire_network_id: int) -> int:
+    return wire_network_id & MAX_NETWORK_ID
+
+
+class FlowTable:
+    """Allocates network identifiers and tracks active flows."""
+
+    def __init__(self, capacity: int = 1024):
+        if not 1 <= capacity <= MAX_NETWORK_ID + 1:
+            raise FlowError(f"capacity out of range: {capacity}")
+        self.capacity = capacity
+        self._flows: Dict[int, ActiveFlow] = {}
+        self._next_id = 0
+
+    def allocate(
+        self,
+        compute_node: str,
+        memory_node: str,
+        section_index: int,
+        channels: Tuple[int, ...] = (0,),
+        bonded: bool = False,
+    ) -> ActiveFlow:
+        if len(self._flows) >= self.capacity:
+            raise FlowError(f"flow table full ({self.capacity} flows)")
+        network_id = self._find_free_id()
+        flow = ActiveFlow(
+            network_id=network_id,
+            compute_node=compute_node,
+            memory_node=memory_node,
+            section_index=section_index,
+            bonded=bonded,
+            channels=tuple(channels),
+        )
+        self._flows[network_id] = flow
+        return flow
+
+    def release(self, network_id: int) -> ActiveFlow:
+        try:
+            return self._flows.pop(network_id)
+        except KeyError:
+            raise FlowError(f"no active flow with id {network_id}") from None
+
+    def lookup(self, network_id: int) -> ActiveFlow:
+        try:
+            return self._flows[base_network_id(network_id)]
+        except KeyError:
+            raise FlowError(
+                f"no active flow with id {base_network_id(network_id)}"
+            ) from None
+
+    def flows(self) -> List[ActiveFlow]:
+        return [self._flows[k] for k in sorted(self._flows)]
+
+    def flows_between(
+        self, compute_node: str, memory_node: str
+    ) -> List[ActiveFlow]:
+        return [
+            flow
+            for flow in self.flows()
+            if flow.compute_node == compute_node
+            and flow.memory_node == memory_node
+        ]
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def _find_free_id(self) -> int:
+        for _ in range(self.capacity):
+            candidate = self._next_id
+            self._next_id = (self._next_id + 1) % self.capacity
+            if candidate not in self._flows:
+                return candidate
+        raise FlowError("no free network identifiers")

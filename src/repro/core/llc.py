@@ -1,0 +1,480 @@
+"""Link-Layer Control (LLC) protocol — paper §IV-A4.
+
+Implements the two reliability features of the ThymesisFlow network
+stack exactly as specified:
+
+* **Credit-based backpressure** — the Tx side holds one credit per empty
+  slot of the peer's Rx ingress queue, consuming a credit per
+  transaction transmitted and stalling at zero. Credits are returned by
+  piggy-backing grants "on the transaction headers of requests and
+  responses"; if the reverse direction is idle, a small control frame
+  carries them (hardware would eventually do the same or starve).
+* **Frame replay** — transactions are packed into fixed-size frames of
+  ``flits_per_frame`` 32 B flits; "incomplete frames are padded with
+  single-flit nop transaction headers for immediate transmission".
+  Frames carry monotonically increasing identifiers and a CRC. The Rx
+  side accepts only the next in-order, CRC-clean frame; anything else
+  triggers an in-band single-flit **replay request**, and the Tx side
+  replays the requested sequence in order from its retention buffer.
+  Retention is pruned by cumulative acknowledgements piggy-backed on
+  reverse-direction frames; a Tx-side timer recovers tail loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..net.crc import crc32, frame_digest_bytes
+from ..net.link import ChannelEndpointView
+from ..opencapi.ports import FPGA_STACK_CROSSING_S
+from ..opencapi.transactions import (
+    FLIT_BYTES,
+    MemTransaction,
+    TLCommand,
+    transaction_flits,
+)
+from ..sim.engine import Simulator
+from ..sim.resources import CreditPool, Store
+
+__all__ = ["LlcConfig", "Frame", "LlcEndpoint", "LlcError"]
+
+#: Fixed per-frame header: frame id, CRC, cumulative ack, credit grant.
+FRAME_HEADER_BYTES = 16
+
+
+class LlcError(RuntimeError):
+    """Protocol violation detected by the LLC (model bug, not link loss)."""
+
+
+@dataclass
+class LlcConfig:
+    """Tunable parameters of one LLC instance (both directions)."""
+
+    flits_per_frame: int = 16
+    rx_queue_slots: int = 256
+    replay_timeout_s: float = 5e-6
+    control_frame_delay_s: float = 500e-9
+    pipeline_latency_s: float = FPGA_STACK_CROSSING_S
+    max_retention_frames: int = 4096
+    #: Frame-fill window: transactions arriving within a couple of
+    #: 401 MHz cycles of each other share a frame (the hardware packs
+    #: whatever is present in the pipeline stage when the frame closes).
+    packing_delay_s: float = 5e-9
+
+    def __post_init__(self):
+        if self.flits_per_frame < 5:
+            # A 128 B write needs 5 flits; frames must fit one transaction.
+            raise ValueError(
+                f"flits_per_frame must be >= 5: {self.flits_per_frame}"
+            )
+        if self.rx_queue_slots < 1:
+            raise ValueError(f"rx_queue_slots must be >= 1")
+
+    @property
+    def frame_wire_bytes(self) -> int:
+        return self.flits_per_frame * FLIT_BYTES + FRAME_HEADER_BYTES
+
+
+_frame_seq = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One LLC frame on the wire."""
+
+    frame_id: Optional[int]  #: None for out-of-band control frames
+    transactions: List[MemTransaction] = field(default_factory=list)
+    nop_padding: int = 0
+    crc: int = 0
+    ack_id: Optional[int] = None
+    credit_grant: int = 0
+    replay_from: Optional[int] = None  #: set on replay-request control frames
+    is_replay: bool = False
+    wire_bytes: int = 0
+    sent_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_frame_seq))
+
+    @property
+    def is_control(self) -> bool:
+        return self.frame_id is None
+
+    @property
+    def flit_count(self) -> int:
+        return sum(transaction_flits(t) for t in self.transactions) + self.nop_padding
+
+    def digest(self) -> bytes:
+        signature = []
+        for txn in self.transactions:
+            signature.append(txn.txn_id * 131 + txn.command.value)
+        identity = self.frame_id if self.frame_id is not None else -1
+        return frame_digest_bytes(identity, signature)
+
+    def seal(self) -> None:
+        self.crc = crc32(self.digest())
+
+    def crc_ok(self) -> bool:
+        return self.crc == crc32(self.digest())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "ctl" if self.is_control else f"#{self.frame_id}"
+        return f"Frame({kind}, txns={len(self.transactions)})"
+
+
+class LlcEndpoint:
+    """One side of an LLC-protected network channel.
+
+    Datapath interface:
+
+    * :meth:`submit` — waitable enqueue of a transaction for the peer
+      (consumes a credit; stalls under backpressure).
+    * :meth:`receive` — waitable dequeue of the next transaction from
+      the ingress queue (frees a slot, i.e. grants a credit back).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: ChannelEndpointView,
+        config: Optional[LlcConfig] = None,
+        name: str = "llc",
+    ):
+        self.sim = sim
+        self.channel = channel
+        self.config = config or LlcConfig()
+        self.name = name
+
+        # Tx state ---------------------------------------------------------------
+        self._tx_queue = Store(sim, name=f"{name}.txq")
+        self._stash: Optional[MemTransaction] = None
+        self._credits = CreditPool(
+            sim, self.config.rx_queue_slots, name=f"{name}.credits"
+        )
+        self._next_frame_id = 0
+        self._retention: Dict[int, Frame] = {}
+        self._retention_timer_armed = False
+
+        # Rx state ---------------------------------------------------------------
+        self._expected_id = 0
+        self._replay_requested_for = -1
+        self._ingress = Store(
+            sim, capacity=self.config.rx_queue_slots, name=f"{name}.ingress"
+        )
+        self._pending_grants = 0
+        self._control_flush_armed = False
+        self._last_tx_time = -1.0
+
+        # Counters -----------------------------------------------------------------
+        self.frames_built = 0
+        self.control_frames = 0
+        self.replays_requested = 0
+        self.replays_served = 0
+        self.frames_out_of_order = 0
+        self.frames_corrupted = 0
+        self.frames_duplicate = 0
+        self.nops_padded = 0
+        self.txns_sent = 0
+        self.txns_received = 0
+        self.timeout_recoveries = 0
+
+        sim.process(self._tx_pump(), name=f"{name}.tx")
+        sim.process(self._rx_pump(), name=f"{name}.rx")
+
+    # ------------------------------------------------------------------ datapath
+    def submit(self, txn: MemTransaction):
+        """Waitable submit; fires once the transaction is queued for Tx."""
+        return self.sim.process(self._submit(txn), name=f"{self.name}.submit")
+
+    def _submit(self, txn: MemTransaction) -> Generator:
+        yield self._credits.consume(1)
+        yield self._tx_queue.put(txn)
+
+    def try_submit(self, txn: MemTransaction) -> bool:
+        """Non-blocking submit; False when out of credits."""
+        if not self._credits.try_consume(1):
+            return False
+        if not self._tx_queue.try_put(txn):
+            self._credits.grant(1)
+            return False
+        return True
+
+    def receive(self):
+        """Waitable receive of the next ingress transaction."""
+        return self.sim.process(self._receive(), name=f"{self.name}.recv")
+
+    def _receive(self) -> Generator:
+        txn = yield self._ingress.get()
+        self._pending_grants += 1
+        self._arm_control_flush()
+        return txn
+
+    @property
+    def credits_available(self) -> int:
+        return self._credits.credits
+
+    @property
+    def retention_depth(self) -> int:
+        return len(self._retention)
+
+    def reset_link(self) -> None:
+        """Link bring-up: resynchronize frame identifiers (§IV-A4).
+
+        "During link bring-up, the ThymesisFlow LLC Tx side agrees on a
+        starting frame identifier with the Rx side." Called when a
+        channel is (re)pointed at a peer — e.g. a rack-scale circuit
+        switch establishing a new light path. The link must be idle:
+        retained frames belong to the previous peer and are dropped,
+        frame ids restart from zero, and the full credit budget is
+        restored (the new peer's ingress queue is empty).
+        """
+        self._retention.clear()
+        self._next_frame_id = 0
+        self._expected_id = 0
+        self._replay_requested_for = -1
+        self._pending_grants = 0
+        self._stash = None
+        while self._tx_queue.try_get() is not None:
+            pass
+        self._credits.reset(self.config.rx_queue_slots)
+
+    # ------------------------------------------------------------------ tx side
+    def _tx_pump(self) -> Generator:
+        while True:
+            first = yield self._tx_queue.get()
+            if self.config.packing_delay_s > 0:
+                # Let same-instant submitters land in the queue so the
+                # frame leaves full instead of 1-transaction-per-frame.
+                yield self.sim.timeout(self.config.packing_delay_s)
+            transactions = [first]
+            flits = transaction_flits(first)
+            # Greedily fill the frame with whatever is already queued —
+            # but never wait for more ("immediate transmission").
+            while True:
+                candidate = self._tx_queue.try_get()
+                if candidate is None:
+                    break
+                needed = transaction_flits(candidate)
+                if flits + needed > self.config.flits_per_frame:
+                    # Put it back at the head is impossible with a FIFO
+                    # store; send it in the next frame instead.
+                    self._stash = candidate
+                    break
+                transactions.append(candidate)
+                flits += needed
+            frame = self._build_frame(transactions, flits)
+            self._transmit(frame)
+            if self._stash is not None:
+                stashed, self._stash = self._stash, None
+                frame = self._build_frame(
+                    [stashed], transaction_flits(stashed)
+                )
+                self._transmit(frame)
+
+    def _build_frame(
+        self, transactions: List[MemTransaction], flits: int
+    ) -> Frame:
+        padding = self.config.flits_per_frame - flits
+        self.nops_padded += padding
+        frame = Frame(
+            frame_id=self._next_frame_id,
+            transactions=transactions,
+            nop_padding=padding,
+            wire_bytes=self.config.frame_wire_bytes,
+        )
+        self._next_frame_id += 1
+        self.frames_built += 1
+        self.txns_sent += len(transactions)
+        return frame
+
+    def _transmit(self, frame: Frame) -> None:
+        """Stamp piggybacks, seal, retain and launch one frame."""
+        if not frame.is_control:
+            self._retention[frame.frame_id] = frame
+            if len(self._retention) > self.config.max_retention_frames:
+                raise LlcError(
+                    f"{self.name}: retention overflow "
+                    f"({len(self._retention)} frames unacked)"
+                )
+            self._arm_retention_timer()
+        frame.ack_id = self._expected_id - 1 if self._expected_id else None
+        frame.credit_grant = self._pending_grants
+        self._pending_grants = 0
+        frame.seal()
+        frame.sent_at = self.sim.now
+        self._last_tx_time = self.sim.now
+        # The FPGA pipeline adds latency without limiting throughput:
+        # launch after the crossing delay rather than stalling the pump.
+        self.sim.schedule(
+            self.config.pipeline_latency_s,
+            self._launch,
+            frame,
+        )
+
+    def _launch(self, frame: Frame) -> None:
+        if not self.channel.tx_link.try_send(frame, frame.wire_bytes):
+            raise LlcError(f"{self.name}: tx link queue rejected frame")
+
+    def _retransmit_from(self, from_id: int) -> None:
+        """Serve a replay request: resend retained frames in order."""
+        for frame_id in sorted(self._retention):
+            if frame_id < from_id:
+                continue
+            original = self._retention[frame_id]
+            copy = Frame(
+                frame_id=original.frame_id,
+                transactions=original.transactions,
+                nop_padding=original.nop_padding,
+                wire_bytes=original.wire_bytes,
+                is_replay=True,
+            )
+            copy.ack_id = self._expected_id - 1 if self._expected_id else None
+            copy.credit_grant = self._pending_grants
+            self._pending_grants = 0
+            copy.seal()
+            copy.sent_at = self.sim.now
+            self._retention[frame_id] = copy  # refresh retention timestamp
+            self.replays_served += 1
+            self.sim.schedule(
+                self.config.pipeline_latency_s, self._launch, copy
+            )
+
+    # -- retention timeout (tail-loss recovery) -------------------------------------
+    def _arm_retention_timer(self) -> None:
+        if self._retention_timer_armed:
+            return
+        self._retention_timer_armed = True
+        self.sim.schedule(
+            self.config.replay_timeout_s, self._retention_timer_fired
+        )
+
+    def _retention_timer_fired(self) -> None:
+        self._retention_timer_armed = False
+        if not self._retention:
+            return
+        oldest_id = min(self._retention)
+        age = self.sim.now - self._retention[oldest_id].sent_at
+        # The epsilon absorbs float round-off: an age within one part in
+        # 1e9 of the timeout counts as expired, and the re-arm delay has
+        # a floor, or the timer could re-fire at the same simulated
+        # instant forever.
+        if age >= self.config.replay_timeout_s * (1.0 - 1e-9):
+            # Still unacknowledged a full timeout after (re)transmission:
+            # the frame or every replay request for it was lost.
+            self.timeout_recoveries += 1
+            self._retransmit_from(oldest_id)
+            self._retention_timer_armed = True
+            self.sim.schedule(
+                self.config.replay_timeout_s, self._retention_timer_fired
+            )
+        else:
+            self._retention_timer_armed = True
+            remaining = max(self.config.replay_timeout_s - age, 1e-9)
+            self.sim.schedule(remaining, self._retention_timer_fired)
+
+    # ------------------------------------------------------------------ rx side
+    def _rx_pump(self) -> Generator:
+        while True:
+            frame, corrupted = yield self.channel.rx.get()
+            self.sim.schedule(
+                self.config.pipeline_latency_s,
+                self._process_frame,
+                frame,
+                corrupted,
+            )
+
+    def _process_frame(self, frame: Frame, corrupted: bool) -> None:
+        if corrupted or not frame.crc_ok():
+            self.frames_corrupted += 1
+            if not frame.is_control:
+                self._request_replay()
+            return
+        # Piggybacked state is valid on any CRC-clean frame.
+        self._apply_piggyback(frame)
+        if frame.is_control:
+            if frame.replay_from is not None:
+                self._retransmit_from(frame.replay_from)
+            return
+        if frame.frame_id == self._expected_id:
+            self._accept(frame)
+        elif frame.frame_id > self._expected_id:
+            self.frames_out_of_order += 1
+            self._request_replay()
+        else:
+            self.frames_duplicate += 1
+            # Re-ack duplicates so the peer can prune retention.
+            self._arm_control_flush(force=True)
+
+    def _accept(self, frame: Frame) -> None:
+        self._expected_id += 1
+        self._replay_requested_for = -1  # progress: allow a new request
+        for txn in frame.transactions:
+            if txn.command == TLCommand.NOP:
+                continue
+            if not self._ingress.try_put(txn):
+                raise LlcError(
+                    f"{self.name}: ingress overflow — peer violated credits"
+                )
+            self.txns_received += 1
+        # Deliver an ack opportunistically with the next outbound frame;
+        # if the tx side stays idle the control flush will carry it.
+        self._arm_control_flush()
+
+    def _apply_piggyback(self, frame: Frame) -> None:
+        if frame.credit_grant:
+            self._credits.grant(frame.credit_grant)
+        if frame.ack_id is not None:
+            for frame_id in [f for f in self._retention if f <= frame.ack_id]:
+                del self._retention[frame_id]
+
+    def _request_replay(self) -> None:
+        # One outstanding request per gap: further out-of-order arrivals
+        # for the same expected id would only multiply replay traffic
+        # (the Tx retention timer covers a lost request).
+        if self._replay_requested_for == self._expected_id:
+            return
+        self._replay_requested_for = self._expected_id
+        self.replays_requested += 1
+        self._send_control(replay_from=self._expected_id)
+
+    # -- control frames -----------------------------------------------------------------
+    def _arm_control_flush(self, force: bool = False) -> None:
+        if self._control_flush_armed:
+            return
+        self._control_flush_armed = True
+        delay = 0.0 if force else self.config.control_frame_delay_s
+        self.sim.schedule(delay, self._control_flush_fired)
+
+    def _control_flush_fired(self) -> None:
+        self._control_flush_armed = False
+        # If regular traffic flowed meanwhile, it carried the piggyback.
+        recently_sent = (
+            self._last_tx_time >= 0
+            and (self.sim.now - self._last_tx_time)
+            < self.config.control_frame_delay_s
+        )
+        need_ack = self._expected_id > 0
+        if (self._pending_grants or need_ack) and not recently_sent:
+            self._send_control()
+
+    def _send_control(self, replay_from: Optional[int] = None) -> None:
+        """Single-flit in-band control frame (replay request / credits)."""
+        frame = Frame(
+            frame_id=None,
+            nop_padding=1,
+            replay_from=replay_from,
+            wire_bytes=FLIT_BYTES + FRAME_HEADER_BYTES,
+        )
+        frame.ack_id = self._expected_id - 1 if self._expected_id else None
+        frame.credit_grant = self._pending_grants
+        self._pending_grants = 0
+        frame.seal()
+        self.control_frames += 1
+        self._last_tx_time = self.sim.now
+        self.sim.schedule(self.config.pipeline_latency_s, self._launch, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LlcEndpoint({self.name!r}, sent={self.txns_sent}, "
+            f"recv={self.txns_received}, credits={self._credits.credits})"
+        )

@@ -1,0 +1,183 @@
+"""Remote Memory Management Unit (RMMU).
+
+The RMMU sits in the compute endpoint and performs the second address
+translation of Fig. 3: the transaction arrives in the **device-internal
+address space** (re-based to 0x0), is bucketed into a *section* by a bit
+range of the address, and the matching section-table entry supplies
+
+  a) the **offset** converting the internal address into a valid
+     effective address on the memory-stealing host, and
+  b) the **network identifier** the routing layer forwards on.
+
+"The one-to-one mapping between Linux kernel sparse memory model and
+the ThymesisFlow RMMU configuration defines the section as the minimum
+unit of disaggregated memory that can be independently handled"
+(§IV-A1). Each section must map to a *consecutive* effective range of
+the same size on the donor, so all of its transactions share one
+forwarding entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..mem.address import AddressError, DEFAULT_SECTION_BYTES
+from ..opencapi.mmio import MmioRegisterFile
+
+__all__ = ["SectionEntry", "Rmmu", "RmmuFault"]
+
+
+class RmmuFault(RuntimeError):
+    """Translation through an invalid or absent section entry."""
+
+
+@dataclass
+class SectionEntry:
+    """One section-table row (§IV-A1).
+
+    ``offset`` is the signed value added to a device-internal address to
+    produce the donor effective address; ``network_id`` is the wire
+    identifier (bonding flag included) stamped into headers.
+    """
+
+    section_index: int
+    offset: int
+    network_id: int
+    valid: bool = True
+
+
+class Rmmu:
+    """Section-indexed translation + forwarding table.
+
+    The table index is "a specific bit range of the transaction address,
+    common to all transactions belonging to the same section": for a
+    power-of-two ``section_bytes`` that is simply
+    ``address >> log2(section_bytes)``.
+    """
+
+    def __init__(
+        self,
+        section_bytes: int = DEFAULT_SECTION_BYTES,
+        table_entries: int = 2048,
+        name: str = "rmmu",
+    ):
+        if section_bytes <= 0 or (section_bytes & (section_bytes - 1)) != 0:
+            raise AddressError(
+                f"section_bytes must be a power of two: {section_bytes}"
+            )
+        if table_entries < 1:
+            raise AddressError(f"table_entries must be >= 1: {table_entries}")
+        self.section_bytes = section_bytes
+        self.table_entries = table_entries
+        self.name = name
+        self._shift = section_bytes.bit_length() - 1
+        self._table: Dict[int, SectionEntry] = {}
+        self.translations = 0
+        self.faults = 0
+
+    # -- configuration (driven by the user-space agent over MMIO) -----------------
+    def install(
+        self, section_index: int, donor_effective_base: int, network_id: int
+    ) -> SectionEntry:
+        """Program one section entry.
+
+        ``donor_effective_base`` is the start of the donor-side pinned
+        range for this section; the stored offset re-bases the section's
+        device-internal addresses onto it.
+        """
+        self._check_index(section_index)
+        internal_base = section_index * self.section_bytes
+        entry = SectionEntry(
+            section_index=section_index,
+            offset=donor_effective_base - internal_base,
+            network_id=network_id,
+        )
+        self._table[section_index] = entry
+        return entry
+
+    def invalidate(self, section_index: int) -> SectionEntry:
+        self._check_index(section_index)
+        try:
+            entry = self._table.pop(section_index)
+        except KeyError:
+            raise RmmuFault(
+                f"{self.name}: section {section_index} not installed"
+            ) from None
+        entry.valid = False
+        return entry
+
+    def entry(self, section_index: int) -> Optional[SectionEntry]:
+        return self._table.get(section_index)
+
+    def installed_sections(self) -> List[int]:
+        return sorted(self._table)
+
+    # -- datapath ------------------------------------------------------------------
+    def section_of(self, internal_address: int) -> int:
+        """The table index bits of a device-internal address."""
+        if internal_address < 0:
+            raise AddressError(f"negative address: {internal_address:#x}")
+        return internal_address >> self._shift
+
+    def translate(self, internal_address: int) -> Tuple[int, int]:
+        """Device-internal address → (donor effective address, network id).
+
+        Raises :class:`RmmuFault` for unconfigured sections — on the real
+        hardware such a transaction is failed back to the bus, which the
+        compute endpoint converts to an error response.
+        """
+        section_index = self.section_of(internal_address)
+        entry = self._table.get(section_index)
+        if entry is None or not entry.valid:
+            self.faults += 1
+            raise RmmuFault(
+                f"{self.name}: no valid entry for section {section_index} "
+                f"(address {internal_address:#x})"
+            )
+        self.translations += 1
+        return internal_address + entry.offset, entry.network_id
+
+    # -- MMIO exposure ---------------------------------------------------------------
+    def attach_mmio(self, mmio: MmioRegisterFile, base_offset: int = 0x100) -> None:
+        """Expose install/invalidate as a 3-register command interface.
+
+        The agent writes SECTION_INDEX and DONOR_BASE, then a write to
+        SECTION_CTRL commits: value = network id to install, or the
+        all-ones value (2**64-1) to invalidate.
+        """
+        state = {"index": 0, "base": 0}
+        mmio.define(
+            "RMMU_SECTION_INDEX",
+            base_offset,
+            on_write=lambda v: state.__setitem__("index", v),
+        )
+        mmio.define(
+            "RMMU_DONOR_BASE",
+            base_offset + 8,
+            on_write=lambda v: state.__setitem__("base", v),
+        )
+
+        def commit(value: int) -> None:
+            if value == (1 << 64) - 1:
+                self.invalidate(state["index"])
+            else:
+                self.install(state["index"], state["base"], value)
+
+        mmio.define("RMMU_SECTION_CTRL", base_offset + 16, on_write=commit)
+        mmio.define(
+            "RMMU_SECTION_COUNT",
+            base_offset + 24,
+            readonly=True,
+            on_read=lambda: len(self._table),
+        )
+
+    def _check_index(self, section_index: int) -> None:
+        if not 0 <= section_index < self.table_entries:
+            raise AddressError(
+                f"{self.name}: section index {section_index} outside "
+                f"table [0, {self.table_entries})"
+            )
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,46 @@
+"""Physical memory substrate: addresses, backing store, DRAM, caches, NUMA."""
+
+from .address import (
+    CACHELINE_BYTES,
+    DEFAULT_SECTION_BYTES,
+    GIB,
+    KIB,
+    MIB,
+    AddressError,
+    AddressRange,
+    AddressSpaceAllocator,
+)
+from .backing import BackingStore
+from .cache import (
+    AccessProfile,
+    AmatModel,
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+    power9_hierarchy,
+)
+from .dram import DramDevice, DramTiming
+from .numa import LOCAL_DISTANCE, NumaNode, NumaTopology
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "DEFAULT_SECTION_BYTES",
+    "KIB",
+    "MIB",
+    "GIB",
+    "AddressError",
+    "AddressRange",
+    "AddressSpaceAllocator",
+    "BackingStore",
+    "DramDevice",
+    "DramTiming",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "AccessProfile",
+    "AmatModel",
+    "power9_hierarchy",
+    "NumaNode",
+    "NumaTopology",
+    "LOCAL_DISTANCE",
+]

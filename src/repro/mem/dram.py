@@ -1,0 +1,124 @@
+"""DRAM device timing model.
+
+Models a memory controller + DIMM group as a service station with a
+fixed access latency, a finite number of banks (parallel in-flight
+accesses) and a peak data rate. The memory-stealing endpoint masters
+transactions into this device exactly like the local CPU does, so both
+sides of a ThymesisFlow link contend for the same banks — one of the
+second-order effects the paper's donor nodes experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from ..sim.stats import RunningStats
+from .address import CACHELINE_BYTES, AddressRange
+from .backing import BackingStore
+
+__all__ = ["DramTiming", "DramDevice"]
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing constants for one DRAM device.
+
+    Defaults approximate a POWER9 AC922 local socket: ~85 ns loaded
+    access latency and ~120 GiB/s per-socket sustained bandwidth.
+    """
+
+    access_latency_s: float = 85e-9
+    bandwidth_bytes_per_s: float = 120 * (1 << 30)
+    banks: int = 16
+
+    def __post_init__(self):
+        if self.access_latency_s < 0:
+            raise ValueError(f"negative latency: {self.access_latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth must be > 0: {self.bandwidth_bytes_per_s}"
+            )
+        if self.banks < 1:
+            raise ValueError(f"banks must be >= 1: {self.banks}")
+
+    def transfer_time(self, size: int) -> float:
+        return size / self.bandwidth_bytes_per_s
+
+
+class DramDevice:
+    """A timed, functional DRAM: data really lands in a backing store.
+
+    ``read``/``write`` return simulation processes; model code typically
+    does ``data = yield dram.read(addr, size)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        window: AddressRange,
+        timing: Optional[DramTiming] = None,
+        name: str = "dram",
+    ):
+        self.sim = sim
+        self.timing = timing or DramTiming()
+        self.name = name
+        self.backing = BackingStore(window, name=f"{name}.backing")
+        self._banks = Resource(sim, self.timing.banks, name=f"{name}.banks")
+        self.read_latency = RunningStats(f"{name}.read_latency")
+        self.write_latency = RunningStats(f"{name}.write_latency")
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def window(self) -> AddressRange:
+        return self.backing.window
+
+    # -- timed access -----------------------------------------------------------
+    def read(self, address: int, size: int = CACHELINE_BYTES):
+        """Timed read process: yields, then returns the bytes."""
+        return self.sim.process(
+            self._access(address, size, None), name=f"{self.name}.read"
+        )
+
+    def write(self, address: int, data: bytes):
+        """Timed write process."""
+        return self.sim.process(
+            self._access(address, len(data), data), name=f"{self.name}.write"
+        )
+
+    def _access(
+        self, address: int, size: int, data: Optional[bytes]
+    ) -> Generator:
+        start = self.sim.now
+        yield self._banks.acquire()
+        try:
+            service = self.timing.access_latency_s + self.timing.transfer_time(size)
+            yield self.sim.timeout(service)
+            if data is None:
+                result = self.backing.read(address, size)
+            else:
+                self.backing.write(address, data)
+                result = None
+        finally:
+            self._banks.release()
+        elapsed = self.sim.now - start
+        if data is None:
+            self.reads += 1
+            self.read_latency.add(elapsed)
+        else:
+            self.writes += 1
+            self.write_latency.add(elapsed)
+        return result
+
+    # -- immediate (untimed) access for functional-only paths -------------------
+    def read_now(self, address: int, size: int = CACHELINE_BYTES) -> bytes:
+        return self.backing.read(address, size)
+
+    def write_now(self, address: int, data: bytes) -> None:
+        self.backing.write(address, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DramDevice({self.name!r}, window={self.window!r})"

@@ -1,0 +1,34 @@
+"""Network substrate: serdes links, channels, CRC, faults, circuit switch."""
+
+from .crc import check, crc32, frame_digest_bytes
+from .faults import FaultDecision, FaultInjector
+from .link import (
+    AURORA_OVERHEAD,
+    SERDES_CROSSING_S,
+    ChannelEndpointView,
+    DuplexChannel,
+    LinkConfig,
+    SerialLink,
+)
+from .packet import Addressed, PacketSwitch, PacketSwitchError
+from .switch import CircuitSwitch, SwitchError, SwitchPort
+
+__all__ = [
+    "LinkConfig",
+    "SerialLink",
+    "DuplexChannel",
+    "ChannelEndpointView",
+    "AURORA_OVERHEAD",
+    "SERDES_CROSSING_S",
+    "FaultInjector",
+    "FaultDecision",
+    "CircuitSwitch",
+    "PacketSwitch",
+    "PacketSwitchError",
+    "Addressed",
+    "SwitchError",
+    "SwitchPort",
+    "crc32",
+    "frame_digest_bytes",
+    "check",
+]

@@ -1,0 +1,87 @@
+"""Network fault injection: frame drops and bit corruption.
+
+The LLC reliability scheme (credits + frame replay) only earns its keep
+when the link actually misbehaves; this module provides the misbehaviour
+deterministically from a seeded RNG so replay tests reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.rng import SeededRNG
+
+__all__ = ["FaultInjector", "FaultDecision"]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Outcome for one frame traversal."""
+
+    drop: bool = False
+    corrupt: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.corrupt)
+
+
+class FaultInjector:
+    """Per-frame Bernoulli drop/corrupt decisions, plus forced faults.
+
+    ``force_drop_next``/``force_corrupt_next`` let tests and ablations
+    inject a fault at an exact point rather than probabilistically.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[SeededRNG] = None,
+        drop_probability: float = 0.0,
+        corrupt_probability: float = 0.0,
+    ):
+        for label, p in (
+            ("drop_probability", drop_probability),
+            ("corrupt_probability", corrupt_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
+        self.rng = rng or SeededRNG(0).derive("faults")
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self._forced_drops = 0
+        self._forced_corruptions = 0
+        self.frames_seen = 0
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+
+    def force_drop_next(self, count: int = 1) -> None:
+        self._forced_drops += count
+
+    def force_corrupt_next(self, count: int = 1) -> None:
+        self._forced_corruptions += count
+
+    def decide(self) -> FaultDecision:
+        """Fate of the next frame crossing the link."""
+        self.frames_seen += 1
+        if self._forced_drops > 0:
+            self._forced_drops -= 1
+            self.frames_dropped += 1
+            return FaultDecision(drop=True)
+        if self._forced_corruptions > 0:
+            self._forced_corruptions -= 1
+            self.frames_corrupted += 1
+            return FaultDecision(corrupt=True)
+        if self.drop_probability and self.rng.bernoulli(self.drop_probability):
+            self.frames_dropped += 1
+            return FaultDecision(drop=True)
+        if self.corrupt_probability and self.rng.bernoulli(
+            self.corrupt_probability
+        ):
+            self.frames_corrupted += 1
+            return FaultDecision(corrupt=True)
+        return FaultDecision()
+
+    @property
+    def fault_count(self) -> int:
+        return self.frames_dropped + self.frames_corrupted

@@ -1,0 +1,42 @@
+"""OpenCAPI attachment model: transactions, buses, M1/C1 ports, PASIDs, MMIO."""
+
+from .bus import BusError, BusTarget, DramBusTarget, SystemBus
+from .mmio import MmioError, MmioRegister, MmioRegisterFile
+from .pasid import PasidEntry, PasidError, PasidRegistry
+from .ports import (
+    FPGA_STACK_CROSSING_S,
+    HOST_LINK_SERDES_S,
+    OpenCapiC1Port,
+    OpenCapiM1Port,
+)
+from .transactions import (
+    FLIT_BYTES,
+    MemTransaction,
+    ResponseCode,
+    TLCommand,
+    flits_for_payload,
+    transaction_flits,
+)
+
+__all__ = [
+    "SystemBus",
+    "BusTarget",
+    "BusError",
+    "DramBusTarget",
+    "MmioRegisterFile",
+    "MmioRegister",
+    "MmioError",
+    "PasidRegistry",
+    "PasidEntry",
+    "PasidError",
+    "OpenCapiM1Port",
+    "OpenCapiC1Port",
+    "FPGA_STACK_CROSSING_S",
+    "HOST_LINK_SERDES_S",
+    "MemTransaction",
+    "TLCommand",
+    "ResponseCode",
+    "FLIT_BYTES",
+    "flits_for_payload",
+    "transaction_flits",
+]

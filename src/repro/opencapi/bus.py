@@ -1,0 +1,153 @@
+"""The SoC main bus: address-routed, timed load/store dispatch.
+
+"From the System-on-Chip main bus standpoint, every peripheral is
+memory-mapped … and communicates with specific load and store
+transactions" (§I). The bus maps real-address windows to targets — DRAM
+controllers, or an OpenCAPI-attached device in M1 mode (which then
+behaves exactly like a memory controller for its window).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Protocol, Tuple
+
+from ..mem.address import AddressError, AddressRange, CACHELINE_BYTES
+from ..mem.dram import DramDevice
+from ..sim.engine import Process, Simulator
+from .transactions import MemTransaction, ResponseCode, TLCommand
+
+__all__ = ["BusTarget", "DramBusTarget", "SystemBus", "BusError"]
+
+
+class BusError(RuntimeError):
+    """Unroutable address or failed bus transaction."""
+
+
+class BusTarget(Protocol):
+    """Anything the bus can dispatch a transaction to.
+
+    ``handle`` receives a request transaction whose address is already in
+    the *target's* window, and must return a simulation
+    :class:`~repro.sim.engine.Process` whose result is the response
+    transaction.
+    """
+
+    def handle(self, txn: MemTransaction) -> Process:  # pragma: no cover
+        ...
+
+
+class DramBusTarget:
+    """Adapter presenting a :class:`DramDevice` as a bus target."""
+
+    def __init__(self, dram: DramDevice):
+        self.dram = dram
+
+    def handle(self, txn: MemTransaction) -> Process:
+        sim = self.dram.sim
+        return sim.process(self._serve(txn), name="dram.handle")
+
+    def _serve(self, txn: MemTransaction) -> Generator:
+        if txn.command == TLCommand.RD_MEM:
+            data = yield self.dram.read(txn.address, txn.size)
+            return txn.make_response(data=data)
+        if txn.command == TLCommand.WRITE_MEM:
+            yield self.dram.write(txn.address, txn.data)
+            return txn.make_response()
+        return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
+
+
+class SystemBus:
+    """Routes real-address transactions to the mapped target.
+
+    Windows must not overlap. Lookup is a linear scan over a sorted list
+    — node bus maps are tiny (DRAM per socket + a handful of devices).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "bus"):
+        self.sim = sim
+        self.name = name
+        self._map: List[Tuple[AddressRange, BusTarget]] = []
+        self.loads = 0
+        self.stores = 0
+
+    # -- construction -----------------------------------------------------------
+    def attach(self, window: AddressRange, target: BusTarget) -> None:
+        for existing, _target in self._map:
+            if existing.overlaps(window):
+                raise BusError(
+                    f"{self.name}: window {window!r} overlaps {existing!r}"
+                )
+        self._map.append((window, target))
+        self._map.sort(key=lambda pair: pair[0].start)
+
+    def detach(self, window: AddressRange) -> None:
+        for index, (existing, _target) in enumerate(self._map):
+            if existing == window:
+                del self._map[index]
+                return
+        raise BusError(f"{self.name}: window {window!r} not attached")
+
+    def attach_dram(self, dram: DramDevice) -> None:
+        self.attach(dram.window, DramBusTarget(dram))
+
+    # -- routing ------------------------------------------------------------------
+    def target_for(self, address: int, size: int) -> Tuple[AddressRange, BusTarget]:
+        access = AddressRange(address, size)
+        for window, target in self._map:
+            if window.contains_range(access):
+                return window, target
+            if window.overlaps(access):
+                raise BusError(
+                    f"{self.name}: access [{address:#x}, "
+                    f"{address + size:#x}) straddles window {window!r}"
+                )
+        raise BusError(
+            f"{self.name}: no target mapped at {address:#x} (+{size})"
+        )
+
+    def windows(self) -> List[AddressRange]:
+        return [window for window, _target in self._map]
+
+    # -- timed operations ------------------------------------------------------------
+    def issue(self, txn: MemTransaction) -> Process:
+        """Dispatch a prepared transaction; returns the response process."""
+        _window, target = self.target_for(txn.address, txn.size)
+        txn.issued_at = self.sim.now
+        if txn.command == TLCommand.RD_MEM:
+            self.loads += 1
+        elif txn.command == TLCommand.WRITE_MEM:
+            self.stores += 1
+        return target.handle(txn)
+
+    def load(self, address: int, size: int = CACHELINE_BYTES) -> Process:
+        """Timed load; the process result is the data bytes."""
+        return self.sim.process(
+            self._load(address, size), name=f"{self.name}.load"
+        )
+
+    def store(self, address: int, data: bytes) -> Process:
+        """Timed store; the process result is the response code."""
+        return self.sim.process(
+            self._store(address, data), name=f"{self.name}.store"
+        )
+
+    def _load(self, address: int, size: int) -> Generator:
+        response = yield self.issue(MemTransaction.read(address, size))
+        if response.response_code is not ResponseCode.OK:
+            raise BusError(
+                f"{self.name}: load {address:#x} failed: "
+                f"{response.response_code.name}"
+            )
+        return response.data
+
+    def _store(self, address: int, data: bytes) -> Generator:
+        response = yield self.issue(MemTransaction.write(address, data))
+        if response.response_code is not ResponseCode.OK:
+            raise BusError(
+                f"{self.name}: store {address:#x} failed: "
+                f"{response.response_code.name}"
+            )
+        return response.response_code
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SystemBus({self.name!r}, windows={len(self._map)})"

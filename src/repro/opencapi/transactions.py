@@ -1,0 +1,183 @@
+"""OpenCAPI transaction-layer datatypes.
+
+The POWER9 core emits 128-byte ld/st transactions (one cache line); the
+ThymesisFlow datapath moves them as sequences of 32-byte **flits** over a
+32 B-wide LLC pipeline (paper §IV-A4/§V). This module defines those wire
+units plus the command vocabulary the endpoints speak — a minimal but
+faithful subset of the OpenCAPI TL/TLx command set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum, auto
+from typing import Optional
+
+from ..mem.address import CACHELINE_BYTES
+
+__all__ = [
+    "TLCommand",
+    "ResponseCode",
+    "MemTransaction",
+    "FLIT_BYTES",
+    "flits_for_payload",
+    "transaction_flits",
+]
+
+#: Width of the LLC datapath: "features a 32B wide datapath" (§IV-A4).
+FLIT_BYTES = 32
+
+
+class TLCommand(Enum):
+    """Transaction-layer commands crossing a ThymesisFlow link."""
+
+    RD_MEM = auto()        #: read one cacheline (request carries no data)
+    WRITE_MEM = auto()     #: write one cacheline (request carries data)
+    MEM_RD_RESPONSE = auto()   #: read response (carries data)
+    MEM_WR_RESPONSE = auto()   #: write acknowledgement (no data)
+    NOP = auto()           #: single-flit padding inside incomplete frames
+    REPLAY_REQUEST = auto()    #: in-band Rx→Tx frame-replay message
+    LINK_SYNC = auto()     #: link bring-up: agree on starting frame id
+
+
+class ResponseCode(Enum):
+    """Completion status carried by response transactions."""
+
+    OK = auto()
+    ADDRESS_ERROR = auto()     #: outside any configured section
+    ACCESS_DENIED = auto()     #: PASID / legal-destination check failed
+    RETRY = auto()             #: transient (e.g. endpoint quiescing)
+
+
+_txn_ids = itertools.count(1)
+
+
+def _next_txn_id() -> int:
+    return next(_txn_ids)
+
+
+@dataclass
+class MemTransaction:
+    """One memory transaction in flight through the stack.
+
+    The ``address`` field is rewritten as the transaction crosses
+    translation stages (real → device-internal → donor effective); the
+    ``network_id`` is stamped by the RMMU and consumed by the routing
+    layer; responses echo the request's ``txn_id`` and travel back over
+    the channel the request arrived on (§IV-A2).
+    """
+
+    command: TLCommand
+    address: int = 0
+    size: int = CACHELINE_BYTES
+    data: Optional[bytes] = None
+    txn_id: int = field(default_factory=_next_txn_id)
+    network_id: Optional[int] = None
+    pasid: Optional[int] = None
+    response_code: ResponseCode = ResponseCode.OK
+    #: channel index the request arrived on (memory side responds in kind)
+    arrival_channel: Optional[int] = None
+    #: credits piggy-backed on this header (LLC backpressure, §IV-A4)
+    piggyback_credits: int = 0
+    issued_at: float = 0.0
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"transaction size must be > 0: {self.size}")
+        if self.data is not None and len(self.data) != self.size:
+            raise ValueError(
+                f"data length {len(self.data)} != size {self.size}"
+            )
+
+    # -- classification ---------------------------------------------------------
+    @property
+    def is_request(self) -> bool:
+        return self.command in (TLCommand.RD_MEM, TLCommand.WRITE_MEM)
+
+    @property
+    def is_response(self) -> bool:
+        return self.command in (
+            TLCommand.MEM_RD_RESPONSE,
+            TLCommand.MEM_WR_RESPONSE,
+        )
+
+    @property
+    def carries_data(self) -> bool:
+        return self.command in (TLCommand.WRITE_MEM, TLCommand.MEM_RD_RESPONSE)
+
+    @property
+    def flit_count(self) -> int:
+        return transaction_flits(self)
+
+    # -- factories ----------------------------------------------------------------
+    @classmethod
+    def read(cls, address: int, size: int = CACHELINE_BYTES) -> "MemTransaction":
+        return cls(TLCommand.RD_MEM, address=address, size=size)
+
+    @classmethod
+    def write(cls, address: int, data: bytes) -> "MemTransaction":
+        return cls(
+            TLCommand.WRITE_MEM, address=address, size=len(data), data=data
+        )
+
+    @classmethod
+    def nop(cls) -> "MemTransaction":
+        return cls(TLCommand.NOP, size=FLIT_BYTES)
+
+    def make_response(
+        self,
+        data: Optional[bytes] = None,
+        code: ResponseCode = ResponseCode.OK,
+    ) -> "MemTransaction":
+        """Build the matching response, echoing id/network/channel."""
+        if self.command == TLCommand.RD_MEM:
+            command = TLCommand.MEM_RD_RESPONSE
+            size = self.size if data is None else len(data)
+        elif self.command == TLCommand.WRITE_MEM:
+            command = TLCommand.MEM_WR_RESPONSE
+            data = None
+            size = CACHELINE_BYTES
+        else:
+            raise ValueError(f"no response defined for {self.command}")
+        return MemTransaction(
+            command,
+            address=self.address,
+            size=size,
+            data=data,
+            txn_id=self.txn_id,
+            network_id=self.network_id,
+            arrival_channel=self.arrival_channel,
+            response_code=code,
+        )
+
+    def with_address(self, address: int) -> "MemTransaction":
+        """Copy with a translated address (RMMU stages)."""
+        return replace(self, address=address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemTransaction({self.command.name}, id={self.txn_id}, "
+            f"addr={self.address:#x}, net={self.network_id})"
+        )
+
+
+def flits_for_payload(payload_bytes: int) -> int:
+    """Number of 32 B flits needed for ``payload_bytes`` of data."""
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload: {payload_bytes}")
+    return -(-payload_bytes // FLIT_BYTES)
+
+
+def transaction_flits(txn: MemTransaction) -> int:
+    """Flits on the wire: one header flit plus data flits if any.
+
+    A 128 B write is 1 + 4 = 5 flits; a read request is a single header
+    flit; NOP padding is one flit by definition (§IV-A4).
+    """
+    if txn.command == TLCommand.NOP:
+        return 1
+    header = 1
+    if txn.carries_data:
+        return header + flits_for_payload(txn.size)
+    return header

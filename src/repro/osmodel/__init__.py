@@ -1,0 +1,33 @@
+"""OS support: sparse sections, hotplug, NUMA nodes/policies, migration, agent."""
+
+from .agent import AgentError, AttachPlan, StealGrant, ThymesisFlowAgent
+from .kernel import HotplugError, LinuxKernel, Mapping
+from .migration import MigrationStats, NumaBalancer
+from .pages import (
+    DEFAULT_PAGE_BYTES,
+    OutOfMemory,
+    Page,
+    PageAllocator,
+    PagePolicy,
+)
+from .sections import MemorySection, SectionState, SparseMemoryModel
+
+__all__ = [
+    "LinuxKernel",
+    "Mapping",
+    "HotplugError",
+    "SparseMemoryModel",
+    "MemorySection",
+    "SectionState",
+    "PageAllocator",
+    "Page",
+    "PagePolicy",
+    "OutOfMemory",
+    "DEFAULT_PAGE_BYTES",
+    "NumaBalancer",
+    "MigrationStats",
+    "ThymesisFlowAgent",
+    "AttachPlan",
+    "StealGrant",
+    "AgentError",
+]

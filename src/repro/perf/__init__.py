@@ -1,0 +1,6 @@
+"""Architectural performance counters: CPI stacks, IPC/UCC aggregation."""
+
+from .counters import PerfAggregator, PerfSample
+from .cpi import CpiBreakdown, CpiModel
+
+__all__ = ["CpiModel", "CpiBreakdown", "PerfSample", "PerfAggregator"]

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation kernel and instrumentation."""
+
+from .engine import (
+    Interrupt,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import CreditPool, Resource, Store
+from .rng import SeededRNG, ZipfGenerator
+from .stats import (
+    Histogram,
+    LatencyRecorder,
+    RunningStats,
+    TimeWeightedValue,
+    cdf_points,
+    percentile,
+)
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "CreditPool",
+    "SeededRNG",
+    "ZipfGenerator",
+    "RunningStats",
+    "Histogram",
+    "LatencyRecorder",
+    "TimeWeightedValue",
+    "percentile",
+    "cdf_points",
+]

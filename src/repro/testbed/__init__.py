@@ -1,0 +1,29 @@
+"""Prototype assembly: nodes, the 3-node testbed, §VI-A configurations."""
+
+from . import calibration
+from .configurations import (
+    AccessEnvironment,
+    MemoryConfigKind,
+    all_environments,
+    make_environment,
+)
+from .node import Ac922Node, NodeSpec
+from .prototype import EthernetSpec, Testbed
+from .packet_rack import PacketRackTestbed
+from .rack import RackTestbed
+from .remote_buffer import RemoteBuffer
+
+__all__ = [
+    "Ac922Node",
+    "NodeSpec",
+    "Testbed",
+    "RackTestbed",
+    "PacketRackTestbed",
+    "RemoteBuffer",
+    "EthernetSpec",
+    "MemoryConfigKind",
+    "AccessEnvironment",
+    "make_environment",
+    "all_environments",
+    "calibration",
+]

@@ -1,0 +1,140 @@
+"""The three-node experimental prototype — paper §V / §VI-A.
+
+"The experimental prototype is composed of three IBM Power System AC922
+nodes … Two of the nodes are equipped with an Alpha Data 9V3 card";
+those two are cabled back-to-back with two independent 100 Gb/s
+channels, and the third node runs application clients over a separate
+10 Gb/s Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..control.orchestrator import Attachment, ControlPlane
+from ..control.security import Role
+from ..core.llc import LlcConfig
+from ..net.link import DuplexChannel, LinkConfig
+from ..net.faults import FaultInjector
+from ..sim.engine import Simulator
+from .node import Ac922Node, NodeSpec
+
+__all__ = ["Testbed", "EthernetSpec"]
+
+
+@dataclass(frozen=True)
+class EthernetSpec:
+    """Conventional networks in the testbed (§VI-A)."""
+
+    #: server↔server Ethernet used by the scale-out configuration.
+    server_gbps: float = 100.0
+    #: client↔server Ethernet (all configurations).
+    client_gbps: float = 10.0
+    #: one-way latency of a LAN hop (switch + stack).
+    hop_latency_s: float = 20e-6
+
+
+class Testbed:
+    """Builds the §V prototype and exposes attach/detach shortcuts."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(
+        self,
+        spec: Optional[NodeSpec] = None,
+        llc_config: Optional[LlcConfig] = None,
+        link_config: Optional[LinkConfig] = None,
+        ethernet: Optional[EthernetSpec] = None,
+        fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+        channels_between_servers: int = 2,
+    ):
+        self.sim = Simulator()
+        self.spec = spec or NodeSpec()
+        self.ethernet = ethernet or EthernetSpec()
+        link_config = link_config or LinkConfig()
+
+        # Nodes: two FPGA-equipped servers plus a client node.
+        self.node0 = Ac922Node(self.sim, "node0", self.spec, llc_config)
+        self.node1 = Ac922Node(self.sim, "node1", self.spec, llc_config)
+        client_spec = NodeSpec(
+            dram_bytes=self.spec.dram_bytes,
+            cpu_count=self.spec.cpu_count,
+            section_bytes=self.spec.section_bytes,
+            page_bytes=self.spec.page_bytes,
+            has_fpga=False,
+        )
+        self.client = Ac922Node(self.sim, "client", client_spec)
+        self.servers = [self.node0, self.node1]
+        self.nodes = [self.node0, self.node1, self.client]
+
+        # Direct-attached copper: two independent channels (§V).
+        self.channels: List[DuplexChannel] = []
+        injectors = fault_injectors or {}
+        for index in range(channels_between_servers):
+            channel = DuplexChannel(
+                self.sim,
+                link_config,
+                faults_ab=injectors.get(index),
+                name=f"ch{index}",
+            )
+            self.node0.device.connect_channel(channel.endpoint_view("a"))
+            self.node1.device.connect_channel(channel.endpoint_view("b"))
+            self.channels.append(channel)
+
+        # Control plane + agents ----------------------------------------------------
+        self.plane = ControlPlane()
+        for node in self.servers:
+            self.plane.register_host(
+                node.agent,
+                transceivers=channels_between_servers,
+                donor_capacity_bytes=node.spec.dram_bytes // 2,
+            )
+        for index in range(channels_between_servers):
+            self.plane.add_cable("node0", index, "node1", index)
+        self.admin_token = self.plane.acl.issue_token(Role.ADMIN)
+
+    # -- conveniences --------------------------------------------------------------------
+    def node(self, hostname: str) -> Ac922Node:
+        for node in self.nodes:
+            if node.hostname == hostname:
+                return node
+        raise KeyError(f"no node {hostname!r}")
+
+    def attach(
+        self,
+        compute_host: str,
+        size: int,
+        memory_host: Optional[str] = None,
+        bonded: bool = False,
+    ) -> Attachment:
+        """Attach disaggregated memory using the admin credential."""
+        return self.plane.attach(
+            compute_host,
+            size,
+            memory_host=memory_host,
+            bonded=bonded,
+            token=self.admin_token,
+        )
+
+    def detach(self, attachment: Attachment) -> None:
+        self.plane.detach(attachment.attachment_id, token=self.admin_token)
+
+    def remote_window_range(self, attachment: Attachment):
+        """Real-address range the attachment occupies on the compute node."""
+        node = self.node(attachment.compute_host)
+        section_bytes = node.spec.section_bytes
+        first = attachment.plan.section_indices[0]
+        count = len(attachment.plan.section_indices)
+        from ..mem.address import AddressRange
+
+        return AddressRange(
+            node.tf_window.start + first * section_bytes,
+            count * section_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Testbed(nodes={[n.hostname for n in self.nodes]}, "
+            f"channels={len(self.channels)})"
+        )

@@ -1,0 +1,165 @@
+"""Rack-scale topology: N nodes behind one circuit switch — paper §VII.
+
+"With the currently available technologies, only rack-scale
+disaggregation seems a feasible solution (i.e. at most one switching
+layer) … At the scale of one or a few racks, a circuit switched optical
+network would be attractive."
+
+This testbed realizes that projection: every node's two network
+channels terminate on a circuit switch; the control plane plans paths
+*through* the switch and programs the circuits (via
+:class:`~repro.control.switching.SwitchDriver`) as part of each attach.
+Remote latency gains one switch crossing relative to the back-to-back
+prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..control.orchestrator import Attachment, ControlPlane
+from ..control.security import Role
+from ..control.switching import SwitchDriver
+from ..core.llc import LlcConfig
+from ..mem.address import AddressRange
+from ..net.link import ChannelEndpointView, LinkConfig, SerialLink
+from ..net.switch import CircuitSwitch
+from ..sim.engine import Simulator
+from .node import Ac922Node, NodeSpec
+
+__all__ = ["RackTestbed"]
+
+
+class RackTestbed:
+    """N FPGA-equipped nodes, one optical circuit switch, one plane."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    SWITCH_NAME = "sw0"
+
+    def __init__(
+        self,
+        nodes: int = 4,
+        channels_per_node: int = 2,
+        spec: Optional[NodeSpec] = None,
+        llc_config: Optional[LlcConfig] = None,
+        link_config: Optional[LinkConfig] = None,
+        switch_crossing_s: float = 100e-9,
+    ):
+        if nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {nodes}")
+        self.sim = Simulator()
+        self.spec = spec or NodeSpec()
+        link_config = link_config or LinkConfig()
+        self.channels_per_node = channels_per_node
+
+        self.switch = CircuitSwitch(
+            self.sim,
+            ports=nodes * channels_per_node,
+            crossing_latency_s=switch_crossing_s,
+            name=self.SWITCH_NAME,
+        )
+        self.nodes: List[Ac922Node] = []
+        self.plane = ControlPlane()
+        driver = SwitchDriver(
+            self.SWITCH_NAME,
+            self.switch,
+            on_circuit_up=self._sync_circuit_llcs,
+        )
+
+        for index in range(nodes):
+            node = Ac922Node(
+                self.sim, f"node{index}", self.spec, llc_config
+            )
+            self.nodes.append(node)
+            for channel in range(channels_per_node):
+                port = index * channels_per_node + channel
+                # Uplink terminates directly on the switch port ingress;
+                # the downlink is the switch port's egress fibre.
+                up = SerialLink(
+                    self.sim,
+                    link_config,
+                    name=f"node{index}.c{channel}.up",
+                    rx_store=self.switch.ingress_store(port),
+                )
+                down = SerialLink(
+                    self.sim,
+                    link_config,
+                    name=f"node{index}.c{channel}.down",
+                )
+                self.switch.attach_egress(port, down)
+                node.device.connect_channel(ChannelEndpointView(up, down))
+
+        for node in self.nodes:
+            self.plane.register_host(
+                node.agent,
+                transceivers=channels_per_node,
+                donor_capacity_bytes=node.spec.dram_bytes // 2,
+            )
+        self.plane.add_switch(
+            self.SWITCH_NAME, nodes * channels_per_node, driver=driver
+        )
+        for index in range(nodes):
+            for channel in range(channels_per_node):
+                port = index * channels_per_node + channel
+                self.plane.add_switch_cable(
+                    f"node{index}", channel, self.SWITCH_NAME, port
+                )
+        self.driver = driver
+        self.admin_token = self.plane.acl.issue_token(Role.ADMIN)
+
+    def _sync_circuit_llcs(self, port_a: int, port_b: int) -> None:
+        """Link bring-up on a fresh circuit: both LLCs agree on frame
+        identifiers (§IV-A4) — stale state from a previous peer is
+        discarded before any transaction flows."""
+        for port in (port_a, port_b):
+            node_index, channel = divmod(port, self.channels_per_node)
+            self.nodes[node_index].device.llcs[channel].reset_link()
+
+    # -- conveniences -------------------------------------------------------------
+    def node(self, hostname: str) -> Ac922Node:
+        for node in self.nodes:
+            if node.hostname == hostname:
+                return node
+        raise KeyError(f"no node {hostname!r}")
+
+    def attach(
+        self,
+        compute_host: str,
+        size: int,
+        memory_host: Optional[str] = None,
+        bonded: bool = False,
+    ) -> Attachment:
+        attachment = self.plane.attach(
+            compute_host,
+            size,
+            memory_host=memory_host,
+            bonded=bonded,
+            token=self.admin_token,
+        )
+        # Link bring-up: wait out the optical switch's reconfiguration
+        # window (during which the new circuits are dark) before the
+        # caller starts issuing transactions.
+        self.sim.run(
+            until=self.sim.now + self.switch.reconfiguration_s * 1.5
+        )
+        return attachment
+
+    def detach(self, attachment: Attachment) -> None:
+        self.plane.detach(attachment.attachment_id, token=self.admin_token)
+
+    def remote_window_range(self, attachment: Attachment) -> AddressRange:
+        node = self.node(attachment.compute_host)
+        section_bytes = node.spec.section_bytes
+        first = attachment.plan.section_indices[0]
+        count = len(attachment.plan.section_indices)
+        return AddressRange(
+            node.tf_window.start + first * section_bytes,
+            count * section_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RackTestbed(nodes={len(self.nodes)}, "
+            f"circuits={self.driver.circuits()})"
+        )

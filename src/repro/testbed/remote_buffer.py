@@ -1,0 +1,138 @@
+"""RemoteBuffer: a byte buffer over (possibly disaggregated) pages.
+
+The paper's promise is that applications use remote memory through
+plain ``ld/st`` semantics with no code changes. This helper is the
+library's ergonomic face of that promise: allocate a buffer with any
+NUMA policy (local, remote-bound, interleaved), then ``read``/``write``
+arbitrary byte ranges — the buffer walks the page mapping and issues
+bus transactions, so bytes destined for a disaggregated page really
+cross the simulated wire into the donor's DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..mem.address import AddressError
+from ..osmodel.kernel import Mapping
+from ..osmodel.pages import PagePolicy
+from .node import Ac922Node
+
+__all__ = ["RemoteBuffer"]
+
+
+class RemoteBuffer:
+    """A process buffer backed by physical pages on one host."""
+
+    def __init__(self, node: Ac922Node, mapping: Mapping,
+                 size: Optional[int] = None):
+        self.node = node
+        self.mapping = mapping
+        #: Logical size: the mapping is page-rounded, the buffer is not.
+        self._size = mapping.size if size is None else size
+        if self._size > mapping.size:
+            raise AddressError(
+                f"buffer size {self._size} exceeds mapping {mapping.size}"
+            )
+        self._freed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    @classmethod
+    def allocate(
+        cls,
+        node: Ac922Node,
+        size: int,
+        policy: PagePolicy = PagePolicy.LOCAL,
+        numa_nodes: Optional[Sequence[int]] = None,
+    ) -> "RemoteBuffer":
+        """mmap ``size`` bytes under ``policy`` on ``node``."""
+        mapping = node.kernel.mmap(size, policy=policy, nodes=numa_nodes)
+        return cls(node, mapping, size=size)
+
+    def free(self) -> None:
+        if not self._freed:
+            self.node.kernel.munmap(self.mapping)
+            self._freed = True
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def node_histogram(self):
+        """Pages per NUMA node (e.g. to verify an interleave policy)."""
+        return self.mapping.node_histogram()
+
+    # -- chunking ----------------------------------------------------------------
+    def _segments(self, offset: int, size: int):
+        """(physical address, chunk size) pieces of a byte range.
+
+        Consecutive virtual offsets may land on discontiguous physical
+        pages (that is the whole point of paging), so accesses are
+        chunked at page boundaries.
+        """
+        self._check(offset, size)
+        page_bytes = self.mapping.page_bytes
+        cursor = offset
+        remaining = size
+        while remaining > 0:
+            in_page = page_bytes - (cursor % page_bytes)
+            chunk = min(remaining, in_page)
+            yield self.mapping.address_for_offset(cursor), chunk
+            cursor += chunk
+            remaining -= chunk
+
+    def _check(self, offset: int, size: int) -> None:
+        if self._freed:
+            raise AddressError("buffer already freed")
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise AddressError(
+                f"access [{offset}, {offset + size}) outside buffer of "
+                f"{self.size} bytes"
+            )
+
+    # -- timed access (simulation processes) -----------------------------------------
+    def write_process(self, offset: int, data: bytes) -> Generator:
+        for address, chunk in self._segments(offset, len(data)):
+            piece, data = data[:chunk], data[chunk:]
+            yield self.node.bus.store(address, piece)
+
+    def read_process(self, offset: int, size: int) -> Generator:
+        parts: List[bytes] = []
+        for address, chunk in self._segments(offset, size):
+            parts.append((yield self.node.bus.load(address, chunk)))
+        return b"".join(parts)
+
+    # -- convenience (runs the simulator) -----------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        """Blocking write: runs the simulation until the bytes landed."""
+        self.node.sim.run_process(self.write_process(offset, data))
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Blocking read through the full (possibly remote) datapath."""
+        return self.node.sim.run_process(self.read_process(offset, size))
+
+    # -- python conveniences ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, key: slice) -> bytes:
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise AddressError("only contiguous slices are supported")
+        start, stop, _ = key.indices(self.size)
+        return self.read(start, max(0, stop - start))
+
+    def __setitem__(self, key: slice, data: bytes) -> None:
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise AddressError("only contiguous slices are supported")
+        start, stop, _ = key.indices(self.size)
+        if stop - start != len(data):
+            raise AddressError(
+                f"slice of {stop - start} bytes != data of {len(data)}"
+            )
+        self.write(start, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RemoteBuffer({self.node.hostname!r}, {self.size} bytes, "
+            f"nodes={self.node_histogram() if not self._freed else '-'})"
+        )

@@ -1,0 +1,55 @@
+"""Workload generators: STREAM, YCSB, Facebook-ETC, ESRally nested track."""
+
+from .esrally import (
+    Challenge,
+    CorpusConfig,
+    NestedQuery,
+    NestedTrackGenerator,
+    StackOverflowPost,
+    build_corpus,
+)
+from .etc import (
+    CacheOperation,
+    CacheOpType,
+    EtcConfig,
+    EtcGenerator,
+    ITEM_OVERHEAD_BYTES,
+)
+from .stream import (
+    StreamConfig,
+    StreamKernel,
+    StreamModel,
+    StreamResult,
+    stream_reference_kernels,
+)
+from .ycsb import (
+    YCSB_WORKLOADS,
+    YcsbGenerator,
+    YcsbOperation,
+    YcsbOperationType,
+    YcsbWorkload,
+)
+
+__all__ = [
+    "StreamKernel",
+    "StreamConfig",
+    "StreamModel",
+    "StreamResult",
+    "stream_reference_kernels",
+    "YcsbWorkload",
+    "YcsbGenerator",
+    "YcsbOperation",
+    "YcsbOperationType",
+    "YCSB_WORKLOADS",
+    "EtcConfig",
+    "EtcGenerator",
+    "CacheOperation",
+    "CacheOpType",
+    "ITEM_OVERHEAD_BYTES",
+    "Challenge",
+    "NestedQuery",
+    "NestedTrackGenerator",
+    "CorpusConfig",
+    "StackOverflowPost",
+    "build_corpus",
+]

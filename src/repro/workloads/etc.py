@@ -1,0 +1,195 @@
+"""Facebook "ETC" Memcached load generator — paper §VI-E.
+
+Reimplements the statistical model the paper built from Atikoglu et
+al.'s workload characterization [56] and Breslau's Zipf observation
+[57]:
+
+* warm-up SETs fill the cache to a configurable size (10 GiB),
+* 64 client threads issue GET/SET with a 30:1 ratio,
+* keys are drawn Zipf(1.0) from a 15 GiB key-value space,
+* the resulting hit ratio lands at 80–82 % ("close to the 81 % value
+  reported in [56]").
+
+Key and value sizes follow the ETC distributions: short keys (~20–40 B)
+and small values (a few hundred bytes, long-tailed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..sim.rng import SeededRNG, ZipfGenerator
+
+__all__ = [
+    "CacheOpType",
+    "CacheOperation",
+    "EtcConfig",
+    "EtcGenerator",
+    "ITEM_OVERHEAD_BYTES",
+]
+
+#: memcached per-item overhead: item header, CAS, slab alignment.
+ITEM_OVERHEAD_BYTES = 64
+
+
+class CacheOpType(enum.Enum):
+    GET = "get"
+    SET = "set"
+
+
+@dataclass(frozen=True)
+class CacheOperation:
+    op_type: CacheOpType
+    key: str
+    value_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class EtcConfig:
+    """Paper parameters (§VI-E), scalable for tests."""
+
+    cache_bytes: int = 10 * (1 << 30)
+    keyspace_bytes: int = 15 * (1 << 30)
+    get_set_ratio: float = 30.0
+    zipf_exponent: float = 1.0
+    client_threads: int = 64
+    requests_per_thread: int = 1_000_000
+    mean_item_bytes: int = 330  # key+value+overhead, ETC-like
+
+    def __post_init__(self):
+        if self.keyspace_bytes < self.cache_bytes:
+            raise ValueError(
+                "keyspace must be at least as large as the cache "
+                "(otherwise every access hits)"
+            )
+        if self.get_set_ratio <= 0:
+            raise ValueError(f"get_set_ratio must be > 0: {self.get_set_ratio}")
+
+    @property
+    def total_keys(self) -> int:
+        return max(1, self.keyspace_bytes // self.mean_item_bytes)
+
+    @property
+    def keys_fitting_in_cache(self) -> int:
+        """Resident capacity in items: the cache pays per-item overhead
+        (header + slab alignment) that the keyspace accounting does not."""
+        return max(
+            1, self.cache_bytes // (self.mean_item_bytes + ITEM_OVERHEAD_BYTES)
+        )
+
+    @property
+    def get_probability(self) -> float:
+        return self.get_set_ratio / (self.get_set_ratio + 1.0)
+
+    def scaled(self, factor: float) -> "EtcConfig":
+        """Shrink the working set for functional runs; ratios preserved."""
+        return EtcConfig(
+            cache_bytes=max(1, int(self.cache_bytes * factor)),
+            keyspace_bytes=max(1, int(self.keyspace_bytes * factor)),
+            get_set_ratio=self.get_set_ratio,
+            zipf_exponent=self.zipf_exponent,
+            client_threads=self.client_threads,
+            requests_per_thread=self.requests_per_thread,
+            mean_item_bytes=self.mean_item_bytes,
+        )
+
+
+class EtcGenerator:
+    """Deterministic ETC operation stream."""
+
+    def __init__(self, config: Optional[EtcConfig] = None, seed: int = 11):
+        self.config = config or EtcConfig()
+        self._rng = SeededRNG(seed).derive("etc")
+        self._zipf = ZipfGenerator(
+            self.config.total_keys, self.config.zipf_exponent, self._rng
+        )
+
+    # -- item geometry ---------------------------------------------------------------
+    def key_name(self, rank: int) -> str:
+        return f"etc:{rank:016d}"
+
+    def value_size(self) -> int:
+        """ETC-like long-tailed value size (lognormal body)."""
+        size = int(self._rng.lognormal(5.2, 0.9))  # median ≈ 180 B
+        return max(16, min(size, 64 * 1024))
+
+    # -- phases ----------------------------------------------------------------------
+    def warmup_operations(self) -> Iterator[CacheOperation]:
+        """SETs that fill the cache to ``cache_bytes`` (§VI-E warm-up).
+
+        The warm-up loader does not know key popularity, so it fills the
+        cache with *uniformly* chosen keys. This is what pins the
+        measured hit ratio near 81 % instead of the ≈98 % a
+        perfectly-hot cache would give: coverage starts at
+        cache/keyspace ≈ 2/3 and run-time SETs (Zipf keys) enrich the
+        resident set toward the hot head.
+        """
+        filled = 0
+        seen = set()
+        total = self.config.total_keys
+        while filled < self.config.cache_bytes and len(seen) < total:
+            rank = self._rng.randint(0, total - 1)
+            if rank in seen:
+                continue
+            seen.add(rank)
+            value = self.value_size()
+            yield CacheOperation(CacheOpType.SET, self.key_name(rank), value)
+            filled += value + 64  # item overhead
+
+    def operations(self, count: int) -> Iterator[CacheOperation]:
+        """The measured phase: GET/SET at 30:1 over Zipf(1.0) keys."""
+        for _ in range(count):
+            rank = self._zipf.sample()
+            if self._rng.random() < self.config.get_probability:
+                yield CacheOperation(CacheOpType.GET, self.key_name(rank))
+            else:
+                yield CacheOperation(
+                    CacheOpType.SET, self.key_name(rank), self.value_size()
+                )
+
+    # -- analytic expectations ----------------------------------------------------------
+    def expected_hit_ratio(
+        self, model_keys: int = 100_000, model_requests: int = 400_000
+    ) -> float:
+        """Estimated steady GET hit ratio under this configuration.
+
+        Runs a fast vectorized membership model at a scaled key count
+        (ratios preserved): warm the cache with uniformly-chosen keys,
+        then stream Zipf requests where SETs (1 in ``ratio``+1) insert
+        their key, evicting a random resident on overflow. For the
+        paper's parameters (10/15 GiB, Zipf 1.0, 30:1) this lands in the
+        80–82 % band §VI-E reports.
+        """
+        import numpy as np
+
+        n = model_keys
+        coverage = self.config.keys_fitting_in_cache / self.config.total_keys
+        k = max(1, min(n - 1, int(n * coverage)))
+        rng = self._rng.derive("hit-model").numpy
+        resident = np.zeros(n, dtype=bool)
+        warm = rng.choice(n, size=k, replace=False)
+        resident[warm] = True
+        resident_count = k
+        zipf = ZipfGenerator(n, self.config.zipf_exponent,
+                             self._rng.derive("hit-model-keys"))
+        keys = zipf.sample_many(model_requests)
+        is_set = rng.random(model_requests) >= self.config.get_probability
+        hits = 0
+        gets = 0
+        resident_list = list(warm)
+        for key, set_op in zip(keys, is_set):
+            if set_op:
+                if not resident[key]:
+                    # Evict a random resident item to make room.
+                    victim_slot = int(rng.integers(0, resident_count))
+                    victim = resident_list[victim_slot]
+                    resident[victim] = False
+                    resident_list[victim_slot] = key
+                    resident[key] = True
+            else:
+                gets += 1
+                if resident[key]:
+                    hits += 1
+        return hits / gets if gets else 0.0

@@ -1,0 +1,164 @@
+"""Yahoo! Cloud Serving Benchmark workload generator — paper §VI-D.
+
+Implements the six core workloads (A–F) with their canonical operation
+mixes and request distributions, matching the YCSB core-workloads
+definitions the paper cites. The generator is deterministic per seed
+and emits :class:`YcsbOperation` records that application drivers (the
+VoltDB model, or any key-value store) consume.
+
+Paper grouping (§VI-D): "Read intensive: workloads with > 95% read
+transactions … B, C, D and E. Mixed: … 50% reads and 50% other
+transactions … A and F."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.rng import SeededRNG, ZipfGenerator
+
+__all__ = [
+    "YcsbOperationType",
+    "YcsbOperation",
+    "YcsbWorkload",
+    "YCSB_WORKLOADS",
+    "YcsbGenerator",
+]
+
+
+class YcsbOperationType(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class YcsbOperation:
+    """One generated request."""
+
+    op_type: YcsbOperationType
+    key: int
+    scan_length: int = 0
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One core workload definition."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    read_modify_write: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    max_scan_length: int = 100
+
+    def __post_init__(self):
+        total = (
+            self.read
+            + self.update
+            + self.insert
+            + self.scan
+            + self.read_modify_write
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: mix sums to {total}")
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of operations that only read (READ + SCAN)."""
+        return self.read + self.scan
+
+    @property
+    def is_read_intensive(self) -> bool:
+        """Paper grouping: ≥ 95% read transactions (B, C, D, E)."""
+        return self.read_fraction >= 0.95
+
+
+#: The canonical core workloads (YCSB wiki, cited as [54]).
+YCSB_WORKLOADS: Dict[str, YcsbWorkload] = {
+    "A": YcsbWorkload("A", read=0.5, update=0.5, distribution="zipfian"),
+    "B": YcsbWorkload("B", read=0.95, update=0.05, distribution="zipfian"),
+    "C": YcsbWorkload("C", read=1.0, distribution="zipfian"),
+    "D": YcsbWorkload("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YcsbWorkload("E", scan=0.95, insert=0.05, distribution="zipfian"),
+    "F": YcsbWorkload(
+        "F", read=0.5, read_modify_write=0.5, distribution="zipfian"
+    ),
+}
+
+
+class YcsbGenerator:
+    """Deterministic operation stream for one workload."""
+
+    def __init__(
+        self,
+        workload: YcsbWorkload,
+        record_count: int = 100_000,
+        seed: int = 7,
+        zipf_exponent: float = 0.99,
+    ):
+        self.workload = workload
+        self.record_count = record_count
+        self._rng = SeededRNG(seed).derive(f"ycsb/{workload.name}")
+        self._zipf = ZipfGenerator(record_count, zipf_exponent, self._rng)
+        self._inserted = record_count
+
+    # -- key choosers ---------------------------------------------------------------
+    def _choose_key(self) -> int:
+        distribution = self.workload.distribution
+        if distribution == "uniform":
+            return self._rng.randint(0, self._inserted - 1)
+        if distribution == "latest":
+            # Skewed toward the most recently inserted records.
+            rank = self._zipf.sample()
+            return max(0, self._inserted - 1 - rank)
+        return self._zipf.sample()
+
+    def _choose_type(self) -> YcsbOperationType:
+        w = self.workload
+        u = self._rng.random()
+        thresholds = [
+            (w.read, YcsbOperationType.READ),
+            (w.update, YcsbOperationType.UPDATE),
+            (w.insert, YcsbOperationType.INSERT),
+            (w.scan, YcsbOperationType.SCAN),
+            (w.read_modify_write, YcsbOperationType.READ_MODIFY_WRITE),
+        ]
+        cumulative = 0.0
+        for weight, op_type in thresholds:
+            cumulative += weight
+            if u < cumulative:
+                return op_type
+        return YcsbOperationType.READ  # float round-off fallback
+
+    # -- stream ------------------------------------------------------------------------
+    def operations(self, count: int) -> Iterator[YcsbOperation]:
+        for _ in range(count):
+            op_type = self._choose_type()
+            if op_type is YcsbOperationType.INSERT:
+                key = self._inserted
+                self._inserted += 1
+                yield YcsbOperation(op_type, key)
+            elif op_type is YcsbOperationType.SCAN:
+                yield YcsbOperation(
+                    op_type,
+                    self._choose_key(),
+                    scan_length=self._rng.randint(
+                        1, self.workload.max_scan_length
+                    ),
+                )
+            else:
+                yield YcsbOperation(op_type, self._choose_key())
+
+    def sample_mix(self, count: int = 10_000) -> Dict[YcsbOperationType, float]:
+        """Empirical mix over ``count`` generated operations (testing)."""
+        histogram: Dict[YcsbOperationType, int] = {}
+        for operation in self.operations(count):
+            histogram[operation.op_type] = histogram.get(operation.op_type, 0) + 1
+        return {k: v / count for k, v in histogram.items()}

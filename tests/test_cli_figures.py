@@ -1,0 +1,65 @@
+"""Tests for the figures module and the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.figures import FIGURES, fig5, fig8, render, rtt
+
+
+class TestFigures:
+    def test_registry_covers_every_figure(self):
+        assert set(FIGURES) == {
+            "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "rtt"
+        }
+
+    def test_fig5_shape(self):
+        title, headers, rows = fig5(threads=(4,))
+        assert "Fig. 5" in title
+        assert headers[0] == "threads"
+        assert len(rows) == 4  # four kernels at one thread count
+
+    def test_fig8_rows_per_config(self):
+        _title, _headers, rows = fig8(samples=2_000)
+        assert len(rows) == 5
+        configs = [row[0] for row in rows]
+        assert "local" in configs and "scale-out" in configs
+
+    def test_rtt_values_near_950(self):
+        _title, _headers, rows = rtt(samples=4)
+        budget_ns = float(rows[0][1].split()[0])
+        assert budget_ns == pytest.approx(960, abs=20)
+
+    def test_render_aligns_columns(self):
+        text = render(("T", ["a", "bb"], [["1", "2"], ["333", "4"]]))
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert len(lines) == 4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "STREAM" in out
+
+    def test_single_figure(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved" in out
+
+    def test_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "roundtrip OK" in out
+        assert "detached cleanly" in out
+
+    def test_unknown_target_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,213 @@
+"""Tests for the Fig. 1 motivation study (trace, models, replay)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    AllocationFailure,
+    DisaggregatedDatacentre,
+    FixedDatacentre,
+    TraceConfig,
+    ratio_span_orders_of_magnitude,
+    replay_trace,
+    run_fig1_experiment,
+    synthesize_trace,
+)
+from repro.cluster.trace import EventKind, TaskRequest
+
+
+def task(task_id=0, cpu=0.1, memory=0.1):
+    return TaskRequest(task_id, cpu, memory, submit_time=0.0, duration=1.0)
+
+
+class TestTrace:
+    def test_events_sorted_and_paired(self):
+        events = synthesize_trace(TraceConfig(tasks=200))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        submits = sum(1 for e in events if e.kind is EventKind.SUBMIT)
+        assert submits == 200
+        assert len(events) == 400
+
+    def test_finish_after_submit(self):
+        events = synthesize_trace(TraceConfig(tasks=100))
+        submit_time = {}
+        for event in events:
+            if event.kind is EventKind.SUBMIT:
+                submit_time[event.task.task_id] = event.time
+            else:
+                assert event.time > submit_time[event.task.task_id]
+
+    def test_deterministic(self):
+        a = synthesize_trace(TraceConfig(tasks=100, seed=5))
+        b = synthesize_trace(TraceConfig(tasks=100, seed=5))
+        assert a == b
+
+    def test_requests_within_machine_bounds(self):
+        events = synthesize_trace(TraceConfig(tasks=500))
+        for event in events:
+            assert 0 < event.task.cpu <= 1.0
+            assert 0 < event.task.memory <= 1.0
+
+    def test_ratio_spans_three_orders_of_magnitude(self):
+        """§I: memory/CPU demand ratios span 3 orders of magnitude."""
+        events = synthesize_trace(TraceConfig(tasks=5000))
+        span = ratio_span_orders_of_magnitude(iter(events))
+        assert span >= 2.5
+
+
+class TestFixedDatacentre:
+    def test_allocate_reduces_free(self):
+        dc = FixedDatacentre(4)
+        dc.allocate(task(cpu=0.5, memory=0.25))
+        assert dc.cpu_free.sum() == pytest.approx(3.5)
+        assert dc.mem_free.sum() == pytest.approx(3.75)
+
+    def test_release_restores(self):
+        dc = FixedDatacentre(4)
+        placement = dc.allocate(task(cpu=0.5, memory=0.25))
+        dc.release(placement)
+        assert dc.cpu_free.sum() == pytest.approx(4.0)
+        assert dc.servers_off() == 4
+
+    def test_best_fit_packs_tightly(self):
+        dc = FixedDatacentre(4)
+        dc.allocate(task(0, cpu=0.6, memory=0.6))
+        # Second task fits next to the first; best fit should reuse it.
+        dc.allocate(task(1, cpu=0.3, memory=0.3))
+        assert dc.servers_off() == 3
+
+    def test_infeasible_raises(self):
+        dc = FixedDatacentre(1)
+        dc.allocate(task(0, cpu=0.9, memory=0.9))
+        with pytest.raises(AllocationFailure):
+            dc.allocate(task(1, cpu=0.5, memory=0.1))
+
+    def test_stranding_metrics(self):
+        dc = FixedDatacentre(2)
+        dc.allocate(task(0, cpu=0.2, memory=0.9))
+        # Server 0 on: 0.8 CPU stranded, 0.1 memory stranded.
+        assert dc.stranded_cpu() == pytest.approx(0.8)
+        assert dc.stranded_memory() == pytest.approx(0.1)
+        assert dc.servers_off() == 1
+
+
+class TestDisaggregatedDatacentre:
+    def test_memory_can_split_across_modules(self):
+        dc = DisaggregatedDatacentre(2, 2, links_per_module=16)
+        dc.allocate(task(0, cpu=0.1, memory=0.9))
+        dc.allocate(task(1, cpu=0.1, memory=0.9))
+        # 0.1 free on each module: a 0.15 request must span both.
+        placement = dc.allocate(task(2, cpu=0.1, memory=0.15))
+        assert len(placement.memory_shares) == 2
+
+    def test_split_respects_link_budget(self):
+        dc = DisaggregatedDatacentre(1, 4, links_per_module=2)
+        dc.cpu_free[0] = 1.0
+        # Fill modules to force a >2-way split which must fail.
+        for index in range(4):
+            dc.mem_free[index] = 0.2
+        with pytest.raises(AllocationFailure):
+            dc.allocate(task(0, cpu=0.1, memory=0.7))
+
+    def test_release_restores_links(self):
+        dc = DisaggregatedDatacentre(2, 2, links_per_module=4)
+        placement = dc.allocate(task(0, cpu=0.5, memory=0.5))
+        used_links = len(placement.memory_shares)
+        assert dc.compute_links_free[placement.compute_unit] == 4 - used_links
+        dc.release(placement)
+        assert (dc.compute_links_free == 4).all()
+        assert (dc.memory_links_free == 4).all()
+
+    def test_off_counts(self):
+        dc = DisaggregatedDatacentre(4, 4)
+        dc.allocate(task(0, cpu=0.5, memory=0.5))
+        assert dc.compute_off() == 3
+        assert dc.memory_off() == 3
+
+    def test_conservation_after_churn(self):
+        dc = DisaggregatedDatacentre(8, 8)
+        placements = [
+            dc.allocate(task(i, cpu=0.1 + 0.05 * (i % 5), memory=0.2))
+            for i in range(20)
+        ]
+        for placement in placements:
+            dc.release(placement)
+        assert dc.cpu_free.sum() == pytest.approx(8.0)
+        assert dc.mem_free.sum() == pytest.approx(8.0)
+        assert dc.compute_off() == 8 and dc.memory_off() == 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tasks=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=0.5),
+                st.floats(min_value=0.01, max_value=0.9),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_property_no_negative_capacity(self, tasks):
+        dc = DisaggregatedDatacentre(6, 6)
+        placements = []
+        for index, (cpu, memory) in enumerate(tasks):
+            try:
+                placements.append(dc.allocate(task(index, cpu, memory)))
+            except AllocationFailure:
+                pass
+        assert (dc.cpu_free >= -1e-9).all()
+        assert (dc.mem_free >= -1e-9).all()
+        assert (dc.compute_links_free >= 0).all()
+        for placement in placements:
+            total = sum(amount for _u, amount in placement.memory_shares)
+            assert total == pytest.approx(placement.task.memory)
+
+
+class TestFig1Experiment:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        from repro.cluster import scaled_trace_config
+
+        return run_fig1_experiment(scaled_trace_config(units=160), units=160)
+
+    def test_disaggregation_reduces_fragmentation(self, reports):
+        fixed, disagg = reports["fixed"], reports["disaggregated"]
+        assert disagg.cpu_fragmentation_pct < fixed.cpu_fragmentation_pct
+        assert disagg.memory_fragmentation_pct < fixed.memory_fragmentation_pct
+
+    def test_fragmentation_reduction_factor_matches_paper(self, reports):
+        """Fig. 1 ratios: CPU 16→3.86 (≈4.1×), MEM 29.5→9.2 (≈3.2×)."""
+        fixed, disagg = reports["fixed"], reports["disaggregated"]
+        cpu_factor = fixed.cpu_fragmentation_pct / disagg.cpu_fragmentation_pct
+        mem_factor = (
+            fixed.memory_fragmentation_pct / disagg.memory_fragmentation_pct
+        )
+        assert 2.0 <= cpu_factor <= 8.0
+        assert 2.0 <= mem_factor <= 6.0
+
+    def test_memory_fragments_more_than_cpu(self, reports):
+        for report in reports.values():
+            assert (
+                report.memory_fragmentation_pct > report.cpu_fragmentation_pct
+            )
+
+    def test_disaggregation_powers_off_more_memory(self, reports):
+        fixed, disagg = reports["fixed"], reports["disaggregated"]
+        assert disagg.memory_off_pct > fixed.memory_off_pct + 5.0
+
+    def test_replay_is_deterministic(self):
+        from repro.cluster import scaled_trace_config
+
+        config = scaled_trace_config(units=80, tasks=2000)
+        a = run_fig1_experiment(config, units=80)
+        b = run_fig1_experiment(config, units=80)
+        assert a["fixed"].as_row() == b["fixed"].as_row()
+        assert a["disaggregated"].as_row() == b["disaggregated"].as_row()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            replay_trace(FixedDatacentre(4), [])

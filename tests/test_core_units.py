@@ -1,0 +1,467 @@
+"""Unit tests for the core building blocks: flows, RMMU, routing, LLC
+framing — exercised in isolation (the datapath integration lives in
+test_core_datapath.py)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BONDING_FLAG,
+    ActiveFlow,
+    FlowError,
+    FlowTable,
+    Frame,
+    LlcConfig,
+    Rmmu,
+    RmmuFault,
+    RoutingError,
+    RoutingLayer,
+    base_network_id,
+    is_bonded_wire_id,
+)
+from repro.core.llc import FRAME_HEADER_BYTES
+from repro.mem import MIB, AddressError
+from repro.opencapi import (
+    FLIT_BYTES,
+    MemTransaction,
+    MmioRegisterFile,
+    TLCommand,
+    transaction_flits,
+)
+from repro.sim import Simulator
+
+
+class TestFlowTable:
+    def test_allocate_assigns_unique_ids(self):
+        table = FlowTable()
+        flows = [
+            table.allocate("c", "m", section_index=i) for i in range(10)
+        ]
+        ids = [flow.network_id for flow in flows]
+        assert len(set(ids)) == 10
+
+    def test_wire_id_carries_bonding_flag(self):
+        table = FlowTable()
+        plain = table.allocate("c", "m", 0)
+        bonded = table.allocate("c", "m", 1, channels=(0, 1), bonded=True)
+        assert not is_bonded_wire_id(plain.wire_network_id)
+        assert is_bonded_wire_id(bonded.wire_network_id)
+        assert base_network_id(bonded.wire_network_id) == bonded.network_id
+
+    def test_bonded_flow_needs_two_channels(self):
+        with pytest.raises(FlowError):
+            ActiveFlow(1, "c", "m", 0, bonded=True, channels=(0,))
+
+    def test_release_frees_id_for_reuse(self):
+        table = FlowTable(capacity=2)
+        a = table.allocate("c", "m", 0)
+        b = table.allocate("c", "m", 1)
+        with pytest.raises(FlowError):
+            table.allocate("c", "m", 2)
+        table.release(a.network_id)
+        c = table.allocate("c", "m", 2)
+        assert c.network_id == a.network_id
+
+    def test_lookup_strips_bonding_flag(self):
+        table = FlowTable()
+        flow = table.allocate("c", "m", 0, channels=(0, 1), bonded=True)
+        assert table.lookup(flow.wire_network_id) is flow
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(FlowError):
+            FlowTable().lookup(5)
+
+    def test_flows_between(self):
+        table = FlowTable()
+        table.allocate("a", "b", 0)
+        table.allocate("a", "c", 1)
+        table.allocate("a", "b", 2)
+        assert len(table.flows_between("a", "b")) == 2
+        assert len(table.flows_between("b", "a")) == 0
+
+    def test_network_id_range_enforced(self):
+        with pytest.raises(FlowError):
+            ActiveFlow(BONDING_FLAG, "c", "m", 0)
+
+
+class TestRmmu:
+    def make(self, section_bytes=1 * MIB):
+        return Rmmu(section_bytes=section_bytes, table_entries=64)
+
+    def test_translate_applies_offset_and_network_id(self):
+        rmmu = self.make()
+        rmmu.install(0, donor_effective_base=0x4000_0000, network_id=9)
+        address, network_id = rmmu.translate(0x100)
+        assert address == 0x4000_0100
+        assert network_id == 9
+
+    def test_section_index_from_address_bits(self):
+        rmmu = self.make(section_bytes=1 * MIB)
+        assert rmmu.section_of(0) == 0
+        assert rmmu.section_of(1 * MIB - 1) == 0
+        assert rmmu.section_of(1 * MIB) == 1
+        assert rmmu.section_of(5 * MIB + 7) == 5
+
+    def test_each_section_translates_independently(self):
+        rmmu = self.make()
+        rmmu.install(0, 0x1000_0000, 1)
+        rmmu.install(1, 0x9000_0000, 2)
+        a, net_a = rmmu.translate(0x10)
+        b, net_b = rmmu.translate(1 * MIB + 0x10)
+        assert a == 0x1000_0010 and net_a == 1
+        assert b == 0x9000_0010 and net_b == 2
+
+    def test_unmapped_section_faults(self):
+        rmmu = self.make()
+        with pytest.raises(RmmuFault):
+            rmmu.translate(2 * MIB)
+        assert rmmu.faults == 1
+
+    def test_invalidate_then_fault(self):
+        rmmu = self.make()
+        rmmu.install(0, 0x0, 1)
+        rmmu.invalidate(0)
+        with pytest.raises(RmmuFault):
+            rmmu.translate(0x0)
+
+    def test_invalidate_missing_raises(self):
+        with pytest.raises(RmmuFault):
+            self.make().invalidate(3)
+
+    def test_table_bounds_checked(self):
+        rmmu = self.make()
+        with pytest.raises(AddressError):
+            rmmu.install(64, 0x0, 1)
+
+    def test_section_size_must_be_power_of_two(self):
+        with pytest.raises(AddressError):
+            Rmmu(section_bytes=3 * MIB)
+
+    def test_mmio_interface_roundtrip(self):
+        rmmu = self.make()
+        mmio = MmioRegisterFile()
+        rmmu.attach_mmio(mmio, base_offset=0x0)
+        mmio.write_named("RMMU_SECTION_INDEX", 2)
+        mmio.write_named("RMMU_DONOR_BASE", 0x7000_0000)
+        mmio.write_named("RMMU_SECTION_CTRL", 5)
+        address, network_id = rmmu.translate(2 * MIB + 4)
+        assert address == 0x7000_0004 and network_id == 5
+        assert mmio.read_named("RMMU_SECTION_COUNT") == 1
+        mmio.write_named("RMMU_SECTION_INDEX", 2)
+        mmio.write_named("RMMU_SECTION_CTRL", (1 << 64) - 1)
+        assert mmio.read_named("RMMU_SECTION_COUNT") == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        section=st.integers(min_value=0, max_value=63),
+        offset=st.integers(min_value=0, max_value=MIB - 1),
+        donor_base=st.integers(min_value=0, max_value=2**40).map(
+            lambda v: v & ~0x7F
+        ),
+    )
+    def test_translation_preserves_section_offset(
+        self, section, offset, donor_base
+    ):
+        rmmu = self.make()
+        rmmu.install(section, donor_base, 1)
+        internal = section * MIB + offset
+        translated, _net = rmmu.translate(internal)
+        assert translated - donor_base == offset
+
+
+class _FakeLlc:
+    """Records submissions; stands in for a channel LLC."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.submitted = []
+
+    def submit(self, txn):
+        self.submitted.append(txn)
+        from repro.sim import Signal
+
+        done = Signal(oneshot=True)
+        done.fire()
+        return done
+
+    def receive(self):  # pragma: no cover - drain never delivers here
+        from repro.sim import Signal
+
+        return Signal()
+
+
+class TestRoutingLayer:
+    def make(self, channels=2):
+        sim = Simulator()
+        routing = RoutingLayer(sim)
+        fakes = [_FakeLlc(sim) for _ in range(channels)]
+        for fake in fakes:
+            routing._channels.append(fake)  # bypass LlcEndpoint requirement
+            routing.per_channel_tx.append(0)
+        return sim, routing, fakes
+
+    def test_unbonded_route_uses_first_channel(self):
+        sim, routing, fakes = self.make()
+        routing.install_route(3, [1])
+        txn = MemTransaction.read(0x0)
+        txn.network_id = 3
+        sim.run_process(self._fwd(routing, txn))
+        assert len(fakes[1].submitted) == 1
+
+    def test_bonded_route_round_robins(self):
+        sim, routing, fakes = self.make()
+        routing.install_route(3, [0, 1])
+        for _ in range(6):
+            txn = MemTransaction.read(0x0)
+            txn.network_id = 3 | BONDING_FLAG
+            sim.run_process(self._fwd(routing, txn))
+        assert len(fakes[0].submitted) == 3
+        assert len(fakes[1].submitted) == 3
+
+    def test_bonding_flag_ignored_for_single_channel_route(self):
+        sim, routing, fakes = self.make()
+        routing.install_route(3, [0])
+        txn = MemTransaction.read(0x0)
+        txn.network_id = 3 | BONDING_FLAG
+        sim.run_process(self._fwd(routing, txn))
+        assert len(fakes[0].submitted) == 1
+
+    def test_unknown_network_id_raises(self):
+        _sim, routing, _fakes = self.make()
+        with pytest.raises(RoutingError):
+            routing.route_for(9)
+
+    def test_missing_network_id_raises(self):
+        _sim, routing, _fakes = self.make()
+        with pytest.raises(RoutingError):
+            routing.forward(MemTransaction.read(0x0))
+
+    def test_response_follows_arrival_channel(self):
+        sim, routing, fakes = self.make()
+        response = MemTransaction.read(0x0).make_response(data=bytes(128))
+        response.arrival_channel = 1
+        sim.run_process(self._fwd_response(routing, response))
+        assert len(fakes[1].submitted) == 1
+
+    def test_route_to_missing_channel_rejected(self):
+        _sim, routing, _fakes = self.make(channels=1)
+        with pytest.raises(RoutingError):
+            routing.install_route(1, [4])
+
+    def test_remove_route(self):
+        _sim, routing, _fakes = self.make()
+        routing.install_route(1, [0])
+        routing.remove_route(1)
+        with pytest.raises(RoutingError):
+            routing.route_for(1)
+
+    @staticmethod
+    def _fwd(routing, txn):
+        yield routing.forward(txn)
+
+    @staticmethod
+    def _fwd_response(routing, txn):
+        yield routing.forward_response(txn)
+
+
+class TestTransactionsAndFrames:
+    def test_flit_counts_per_command(self):
+        read = MemTransaction.read(0x0)
+        write = MemTransaction.write(0x0, bytes(128))
+        response = read.make_response(data=bytes(128))
+        ack = write.make_response()
+        assert transaction_flits(read) == 1       # header only
+        assert transaction_flits(write) == 5      # header + 4x32B
+        assert transaction_flits(response) == 5
+        assert transaction_flits(ack) == 1
+        assert transaction_flits(MemTransaction.nop()) == 1
+
+    def test_response_echoes_identity(self):
+        request = MemTransaction.read(0x1000)
+        request.network_id = 7
+        request.arrival_channel = 1
+        response = request.make_response(data=bytes(128))
+        assert response.txn_id == request.txn_id
+        assert response.network_id == 7
+        assert response.arrival_channel == 1
+        assert response.is_response and not response.is_request
+
+    def test_write_response_drops_payload(self):
+        write = MemTransaction.write(0x0, bytes(128))
+        ack = write.make_response()
+        assert ack.data is None
+
+    def test_data_size_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            MemTransaction(TLCommand.WRITE_MEM, size=128, data=bytes(64))
+
+    def test_nop_has_no_response(self):
+        with pytest.raises(ValueError):
+            MemTransaction.nop().make_response()
+
+    def test_frame_crc_detects_tampering(self):
+        txn = MemTransaction.write(0x0, bytes(128))
+        frame = Frame(frame_id=4, transactions=[txn], nop_padding=11)
+        frame.seal()
+        assert frame.crc_ok()
+        frame.transactions.append(MemTransaction.read(0x80))
+        assert not frame.crc_ok()
+
+    def test_frame_crc_covers_frame_id(self):
+        txn = MemTransaction.read(0x0)
+        frame = Frame(frame_id=4, transactions=[txn])
+        frame.seal()
+        frame.frame_id = 5
+        assert not frame.crc_ok()
+
+    def test_frame_wire_size(self):
+        config = LlcConfig(flits_per_frame=16)
+        assert config.frame_wire_bytes == 16 * FLIT_BYTES + FRAME_HEADER_BYTES
+
+    def test_llc_config_must_fit_a_write(self):
+        with pytest.raises(ValueError):
+            LlcConfig(flits_per_frame=4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.integers(min_value=0, max_value=3),
+        reads=st.integers(min_value=0, max_value=16),
+    )
+    def test_frame_flit_accounting_property(self, writes, reads):
+        config = LlcConfig()
+        transactions = [
+            MemTransaction.write(i * 128, bytes(128)) for i in range(writes)
+        ] + [MemTransaction.read(i * 128) for i in range(reads)]
+        used = sum(transaction_flits(t) for t in transactions)
+        if used > config.flits_per_frame:
+            return  # would span multiple frames
+        frame = Frame(
+            frame_id=0,
+            transactions=transactions,
+            nop_padding=config.flits_per_frame - used,
+        )
+        assert frame.flit_count == config.flits_per_frame
+
+
+class TestWeightedChannelSharing:
+    """§IV-A3 extension: weighted round-robin bandwidth allocation."""
+
+    def _route_n(self, routing, sim, fakes, network_id, count):
+        sent = [0] * len(fakes)
+        for _ in range(count):
+            txn = MemTransaction.read(0x0)
+            txn.network_id = network_id | BONDING_FLAG
+            index = routing.select_channel(txn.network_id)
+            sent[index] += 1
+        return sent
+
+    def test_weighted_split_matches_ratio(self):
+        sim = Simulator()
+        routing = RoutingLayer(sim)
+        fakes = [_FakeLlc(sim) for _ in range(2)]
+        for fake in fakes:
+            routing._channels.append(fake)
+            routing.per_channel_tx.append(0)
+        routing.install_route(1, [0, 1], weights=[3, 1])
+        sent = self._route_n(routing, sim, fakes, 1, 40)
+        assert sent == [30, 10]
+
+    def test_equal_weights_are_plain_round_robin(self):
+        sim = Simulator()
+        routing = RoutingLayer(sim)
+        fakes = [_FakeLlc(sim) for _ in range(2)]
+        for fake in fakes:
+            routing._channels.append(fake)
+            routing.per_channel_tx.append(0)
+        routing.install_route(1, [0, 1])
+        picks = [
+            routing.select_channel(1 | BONDING_FLAG) for _ in range(6)
+        ]
+        assert picks in ([0, 1, 0, 1, 0, 1], [1, 0, 1, 0, 1, 0])
+
+    def test_smooth_wrr_interleaves(self):
+        """Smooth WRR spreads the heavy channel's turns, it does not
+        burst them (3,1 gives A A B A-style patterns, never A A A B
+        repeated from a cold start... precisely: 0,0,1,0)."""
+        sim = Simulator()
+        routing = RoutingLayer(sim)
+        fakes = [_FakeLlc(sim) for _ in range(2)]
+        for fake in fakes:
+            routing._channels.append(fake)
+            routing.per_channel_tx.append(0)
+        routing.install_route(1, [0, 1], weights=[3, 1])
+        picks = [routing.select_channel(1 | BONDING_FLAG) for _ in range(8)]
+        # One channel-1 pick per 4, never two in a row.
+        assert picks.count(1) == 2
+        assert all(
+            not (a == b == 1) for a, b in zip(picks, picks[1:])
+        )
+
+    def test_weight_validation(self):
+        sim = Simulator()
+        routing = RoutingLayer(sim)
+        fakes = [_FakeLlc(sim) for _ in range(2)]
+        for fake in fakes:
+            routing._channels.append(fake)
+            routing.per_channel_tx.append(0)
+        with pytest.raises(RoutingError):
+            routing.install_route(1, [0, 1], weights=[1])
+        with pytest.raises(RoutingError):
+            routing.install_route(1, [0, 1], weights=[0, 1])
+
+
+class TestThymesisFlowDevice:
+    def make_device(self, channels=1):
+        from repro.core import ThymesisFlowDevice
+        from repro.net import DuplexChannel
+
+        sim = Simulator()
+        device = ThymesisFlowDevice(sim, section_bytes=1 * MIB)
+        peers = []
+        for _ in range(channels):
+            channel = DuplexChannel(sim)
+            device.connect_channel(channel.endpoint_view("a"))
+            peers.append(channel)
+        return sim, device, peers
+
+    def test_channel_limit_enforced(self):
+        from repro.core import EndpointError
+        from repro.net import DuplexChannel
+
+        sim, device, _peers = self.make_device(channels=2)
+        with pytest.raises(EndpointError):
+            device.connect_channel(DuplexChannel(sim).endpoint_view("a"))
+
+    def test_route_mmio_roundtrip(self):
+        _sim, device, _peers = self.make_device()
+        device.mmio.write_named("ROUTE_NETWORK_ID", 5)
+        device.mmio.write_named("ROUTE_CHANNEL_MASK", 0b01)
+        device.mmio.write_named("ROUTE_CTRL", 1)
+        assert device.routing.route_for(5) == (0,)
+        device.mmio.write_named("ROUTE_NETWORK_ID", 5)
+        device.mmio.write_named("ROUTE_CTRL", 0)
+        with pytest.raises(RoutingError):
+            device.routing.route_for(5)
+
+    def test_channel_count_register(self):
+        _sim, device, _peers = self.make_device()
+        assert device.mmio.read_named("CHANNEL_COUNT") == 1
+
+    def test_request_without_memory_role_rejected(self):
+        from repro.core import EndpointError
+
+        _sim, device, _peers = self.make_device()
+        request = MemTransaction.read(0x0)
+        with pytest.raises(EndpointError, match="memory role"):
+            device._dispatch(request, 0)
+
+    def test_typed_helpers_match_mmio(self):
+        _sim, device, _peers = self.make_device()
+        device.program_section(3, 0x5000_0000, 9)
+        assert device.rmmu.installed_sections() == [3]
+        device.program_route(9, [0])
+        assert device.routing.route_for(9) == (0,)
+        device.clear_section(3)
+        device.clear_route(9)
+        assert device.rmmu.installed_sections() == []

@@ -1,0 +1,126 @@
+"""Unit + property tests for the sparse backing store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import GIB, AddressError, AddressRange, BackingStore
+
+
+def make_store(size=1 << 20, start=0, chunk=4096):
+    return BackingStore(AddressRange(start, size), chunk_bytes=chunk)
+
+
+class TestBackingStore:
+    def test_read_back_what_was_written(self):
+        store = make_store()
+        store.write(0x100, b"hello thymesisflow")
+        assert store.read(0x100, 18) == b"hello thymesisflow"
+
+    def test_untouched_memory_reads_zero(self):
+        store = make_store()
+        assert store.read(0x5000, 16) == bytes(16)
+
+    def test_write_straddling_chunks(self):
+        store = make_store(chunk=256)
+        payload = bytes(range(200)) * 3  # 600 bytes across 3+ chunks
+        store.write(200, payload)
+        assert store.read(200, len(payload)) == payload
+
+    def test_partial_overwrite(self):
+        store = make_store()
+        store.write(0, b"AAAAAAAA")
+        store.write(2, b"BB")
+        assert store.read(0, 8) == b"AABBAAAA"
+
+    def test_sparse_residency(self):
+        store = make_store(size=1 << 30, chunk=4096)
+        store.write(0x2000_0000, b"x")
+        assert store.resident_bytes == 4096
+
+    def test_out_of_window_access_raises(self):
+        store = make_store(size=0x1000)
+        with pytest.raises(AddressError):
+            store.write(0x1000, b"x")
+        with pytest.raises(AddressError):
+            store.read(0xFFF, 2)
+
+    def test_non_zero_window_base(self):
+        store = make_store(size=0x1000, start=0x2_0000_0000)
+        store.write(0x2_0000_0800, b"based")
+        assert store.read(0x2_0000_0800, 5) == b"based"
+        with pytest.raises(AddressError):
+            store.read(0x0, 1)
+
+    def test_zero_size_read_is_empty(self):
+        store = make_store()
+        assert store.read(0, 0) == b""
+
+    def test_fill(self):
+        store = make_store()
+        store.fill(0x10, 0x20, value=0xAB)
+        assert store.read(0x10, 0x20) == bytes([0xAB]) * 0x20
+        assert store.read(0x30, 4) == bytes(4)
+
+    def test_fill_zero_on_untouched_is_free(self):
+        store = make_store(size=1 << 30)
+        store.fill(0, 1 << 30, value=0)
+        assert store.resident_bytes == 0
+
+    def test_fill_bad_value_raises(self):
+        with pytest.raises(AddressError):
+            make_store().fill(0, 16, value=256)
+
+    def test_copy_range_within_store(self):
+        store = make_store()
+        store.write(0, b"payload!")
+        store.copy_range(0, 0x100, 8)
+        assert store.read(0x100, 8) == b"payload!"
+
+    def test_copy_range_across_stores(self):
+        src = make_store()
+        dst = make_store(start=0x10_0000)
+        src.write(0x40, b"migrated-page")
+        src.copy_range(0x40, 0x10_0040, 13, other=dst)
+        assert dst.read(0x10_0040, 13) == b"migrated-page"
+
+    def test_discard_releases_whole_chunks(self):
+        store = make_store(chunk=256)
+        store.write(0, bytes(1024))
+        store.write(0, b"\xff" * 1024)
+        assert store.resident_bytes == 1024
+        store.discard(0, 512)
+        assert store.resident_bytes == 512
+        assert store.read(0, 4) == bytes(4)  # discarded reads as zeros
+
+    def test_traffic_counters(self):
+        store = make_store()
+        store.write(0, b"abcd")
+        store.read(0, 2)
+        assert store.bytes_written == 4
+        assert store.bytes_read == 2
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(AddressError):
+            BackingStore(AddressRange(0, 0x1000), chunk_bytes=1000)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xF000),
+                st.binary(min_size=1, max_size=512),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_matches_reference_flat_buffer(self, writes):
+        """The sparse store must behave exactly like one big bytearray."""
+        store = make_store(size=0x10000, chunk=512)
+        reference = bytearray(0x10000)
+        for address, data in writes:
+            address = min(address, 0x10000 - len(data))
+            store.write(address, data)
+            reference[address : address + len(data)] = data
+        assert store.read(0, 0x10000) == bytes(reference)

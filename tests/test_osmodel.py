@@ -1,0 +1,329 @@
+"""Tests for the OS model: sections, hotplug, page policies, migration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AddressRange, MIB
+from repro.osmodel import (
+    HotplugError,
+    LinuxKernel,
+    NumaBalancer,
+    OutOfMemory,
+    PageAllocator,
+    PagePolicy,
+    SectionState,
+    SparseMemoryModel,
+)
+
+SECTION = 1 * MIB
+PAGE = 64 * 1024
+
+
+def make_kernel(local_mb=16, two_sockets=False):
+    kernel = LinuxKernel("host", section_bytes=SECTION, page_bytes=PAGE)
+    kernel.add_boot_memory(
+        0, AddressRange(0x0, local_mb * MIB), cpu_count=16
+    )
+    if two_sockets:
+        kernel.add_boot_memory(
+            1,
+            AddressRange(0x1000_0000, local_mb * MIB),
+            cpu_count=16,
+            distances={0: 20},
+        )
+    return kernel
+
+
+class TestSparseSections:
+    def test_probe_creates_offline_sections(self):
+        model = SparseMemoryModel(SECTION)
+        sections = model.probe(0, 4 * SECTION)
+        assert len(sections) == 4
+        assert all(s.state is SectionState.OFFLINE for s in sections)
+
+    def test_probe_unaligned_rejected(self):
+        model = SparseMemoryModel(SECTION)
+        with pytest.raises(Exception):
+            model.probe(100, SECTION)
+
+    def test_double_probe_rejected(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(0, SECTION)
+        with pytest.raises(Exception):
+            model.probe(0, SECTION)
+
+    def test_online_offline_lifecycle(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(0, SECTION)
+        model.online(0, numa_node=2)
+        assert model.section(0).online
+        assert model.section(0).numa_node == 2
+        model.begin_offline(0)
+        model.finish_offline(0)
+        assert model.section(0).state is SectionState.OFFLINE
+        model.remove(0)
+        assert not model.present(0)
+
+    def test_cannot_remove_online_section(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(0, SECTION)
+        model.online(0, 0)
+        with pytest.raises(Exception):
+            model.remove(0)
+
+    def test_cannot_online_twice(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(0, SECTION)
+        model.online(0, 0)
+        with pytest.raises(Exception):
+            model.online(0, 0)
+
+    def test_section_at_address(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(2 * SECTION, 2 * SECTION)
+        assert model.section_at(2 * SECTION + 100).index == 2
+
+    def test_total_online_bytes_per_node(self):
+        model = SparseMemoryModel(SECTION)
+        model.probe(0, 4 * SECTION)
+        model.online(0, 0)
+        model.online(1, 0)
+        model.online(2, 5)
+        assert model.total_online_bytes(0) == 2 * SECTION
+        assert model.total_online_bytes(5) == SECTION
+        assert model.total_online_bytes() == 3 * SECTION
+
+
+class TestPageAllocator:
+    def make(self):
+        alloc = PageAllocator(PAGE)
+        alloc.add_range(0, AddressRange(0, 64 * PAGE))
+        alloc.add_range(1, AddressRange(0x1000_0000, 64 * PAGE))
+        return alloc
+
+    def test_local_policy_stays_on_node(self):
+        alloc = self.make()
+        pages = alloc.allocate(10, PagePolicy.LOCAL, nodes=[0])
+        assert all(p.node_id == 0 for p in pages)
+
+    def test_local_falls_back_when_exhausted(self):
+        alloc = self.make()
+        pages = alloc.allocate(
+            100, PagePolicy.LOCAL, nodes=[0], fallback_order=[1]
+        )
+        nodes = {p.node_id for p in pages}
+        assert nodes == {0, 1}
+        assert sum(1 for p in pages if p.node_id == 0) == 64
+
+    def test_interleave_is_50_50(self):
+        alloc = self.make()
+        pages = alloc.allocate(40, PagePolicy.INTERLEAVE, nodes=[0, 1])
+        on0 = sum(1 for p in pages if p.node_id == 0)
+        assert on0 == 20  # strict round-robin
+
+    def test_interleave_alternates(self):
+        alloc = self.make()
+        pages = alloc.allocate(6, PagePolicy.INTERLEAVE, nodes=[0, 1])
+        assert [p.node_id for p in pages] == [0, 1, 0, 1, 0, 1]
+
+    def test_bind_does_not_fall_back(self):
+        alloc = self.make()
+        with pytest.raises(OutOfMemory):
+            alloc.allocate(65, PagePolicy.BIND, nodes=[0])
+
+    def test_failed_allocation_leaks_nothing(self):
+        alloc = self.make()
+        before = alloc.free_pages(0)
+        with pytest.raises(OutOfMemory):
+            alloc.allocate(200, PagePolicy.BIND, nodes=[0])
+        assert alloc.free_pages(0) == before
+
+    def test_free_returns_pages(self):
+        alloc = self.make()
+        pages = alloc.allocate(10, PagePolicy.LOCAL, nodes=[0])
+        alloc.free(pages)
+        assert alloc.free_pages(0) == 64
+
+    def test_take_contiguous_returns_consecutive_range(self):
+        alloc = self.make()
+        pinned = alloc.take_contiguous(0, 8)
+        assert pinned.size == 8 * PAGE
+        assert pinned.start % PAGE == 0
+
+    def test_take_contiguous_skips_fragmentation(self):
+        alloc = PageAllocator(PAGE)
+        alloc.add_range(0, AddressRange(0, 16 * PAGE))
+        # Punch holes: allocate all, free alternating frames.
+        pages = alloc.allocate(16, PagePolicy.BIND, nodes=[0])
+        alloc.free([p for i, p in enumerate(pages) if i % 2 == 0])
+        with pytest.raises(OutOfMemory):
+            alloc.take_contiguous(0, 2)
+
+    def test_release_contiguous_roundtrip(self):
+        alloc = self.make()
+        pinned = alloc.take_contiguous(0, 8)
+        alloc.release_contiguous(pinned)
+        assert alloc.free_pages(0) == 64
+        again = alloc.take_contiguous(0, 64)
+        assert again.size == 64 * PAGE
+
+    def test_has_allocated_in(self):
+        alloc = self.make()
+        pages = alloc.allocate(1, PagePolicy.BIND, nodes=[0])
+        assert alloc.has_allocated_in(0, pages[0].range)
+        alloc.free(pages)
+        assert not alloc.has_allocated_in(0, pages[0].range)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        takes=st.lists(st.integers(min_value=1, max_value=8), max_size=10),
+    )
+    def test_page_conservation_property(self, takes):
+        alloc = PageAllocator(PAGE)
+        total = 128
+        alloc.add_range(0, AddressRange(0, total * PAGE))
+        live = []
+        for n in takes:
+            try:
+                live.extend(alloc.allocate(n, PagePolicy.BIND, nodes=[0]))
+            except OutOfMemory:
+                pass
+        assert alloc.free_pages(0) + len(live) == total
+        seen = {p.pfn for p in live}
+        assert len(seen) == len(live)  # no double allocation
+
+
+class TestKernelHotplug:
+    def test_boot_memory_is_online(self):
+        kernel = make_kernel()
+        assert kernel.sparse.total_online_bytes(0) == 16 * MIB
+        assert kernel.pages.free_pages(0) == 16 * MIB // PAGE
+
+    def test_hotplug_grows_cpuless_node(self):
+        kernel = make_kernel()
+        kernel.create_cpuless_node(2, base_latency_s=950e-9,
+                                   distances={0: 80})
+        sections = kernel.hotplug_probe(0x2000_0000, 4 * SECTION)
+        added = kernel.hotplug_online([s.index for s in sections], 2)
+        assert added == 4 * MIB
+        assert kernel.topology.node(2).memory_bytes == 4 * MIB
+        assert kernel.pages.free_pages(2) == 4 * MIB // PAGE
+
+    def test_allocate_from_hotplugged_node(self):
+        kernel = make_kernel()
+        kernel.create_cpuless_node(2, 950e-9, {0: 80})
+        sections = kernel.hotplug_probe(0x2000_0000, 2 * SECTION)
+        kernel.hotplug_online([s.index for s in sections], 2)
+        mapping = kernel.mmap(1 * MIB, PagePolicy.BIND, nodes=[2])
+        assert all(p.node_id == 2 for p in mapping.pages)
+
+    def test_offline_busy_section_fails(self):
+        kernel = make_kernel()
+        kernel.create_cpuless_node(2, 950e-9, {0: 80})
+        sections = kernel.hotplug_probe(0x2000_0000, SECTION)
+        kernel.hotplug_online([s.index for s in sections], 2)
+        mapping = kernel.mmap(PAGE, PagePolicy.BIND, nodes=[2])
+        with pytest.raises(HotplugError, match="busy"):
+            kernel.hotplug_offline([sections[0].index])
+        kernel.munmap(mapping)
+        assert kernel.hotplug_offline([sections[0].index]) == SECTION
+
+    def test_full_attach_detach_cycle(self):
+        kernel = make_kernel()
+        kernel.create_cpuless_node(2, 950e-9, {0: 80})
+        sections = kernel.hotplug_probe(0x2000_0000, 2 * SECTION)
+        indices = [s.index for s in sections]
+        kernel.hotplug_online(indices, 2)
+        kernel.hotplug_offline(indices)
+        kernel.hotplug_remove(indices)
+        kernel.remove_node(2)
+        assert 2 not in kernel.topology
+        # Can attach again at the same address.
+        kernel.hotplug_probe(0x2000_0000, 2 * SECTION)
+
+    def test_online_into_missing_node_fails(self):
+        kernel = make_kernel()
+        sections = kernel.hotplug_probe(0x2000_0000, SECTION)
+        with pytest.raises(HotplugError):
+            kernel.hotplug_online([sections[0].index], 9)
+
+    def test_mapping_offset_math(self):
+        kernel = make_kernel()
+        mapping = kernel.mmap(4 * PAGE)
+        address = mapping.address_for_offset(PAGE + 100)
+        assert address == mapping.pages[1].address + 100
+
+    def test_node_histogram(self):
+        kernel = make_kernel(two_sockets=True)
+        mapping = kernel.mmap(
+            8 * PAGE, PagePolicy.INTERLEAVE, nodes=[0, 1]
+        )
+        histogram = mapping.node_histogram()
+        assert histogram == {0: 4, 1: 4}
+
+    def test_pin_contiguous_rounds_to_sections(self):
+        kernel = make_kernel()
+        pinned = kernel.pin_contiguous(3 * PAGE, node_id=0)
+        assert pinned.size == 3 * PAGE
+        kernel.unpin(pinned)
+
+
+class TestNumaBalancer:
+    def build(self):
+        kernel = make_kernel()
+        kernel.create_cpuless_node(2, 950e-9, {0: 80})
+        sections = kernel.hotplug_probe(0x2000_0000, 4 * SECTION)
+        kernel.hotplug_online([s.index for s in sections], 2)
+        balancer = NumaBalancer(kernel, sample_period=1, min_samples=2)
+        return kernel, balancer
+
+    def test_hot_remote_page_migrates_local(self):
+        kernel, balancer = self.build()
+        mapping = kernel.mmap(2 * PAGE, PagePolicy.BIND, nodes=[2])
+        for _ in range(8):
+            balancer.record_access(mapping, 0, cpu_node=0)
+        moved = balancer.balance(mapping)
+        assert moved == 1
+        assert mapping.pages[0].node_id == 0
+        assert mapping.pages[1].node_id == 2  # untouched page stays
+
+    def test_cold_page_not_migrated(self):
+        kernel, balancer = self.build()
+        mapping = kernel.mmap(PAGE, PagePolicy.BIND, nodes=[2])
+        balancer.record_access(mapping, 0, cpu_node=0)  # below min_samples
+        assert balancer.balance(mapping) == 0
+
+    def test_local_page_stays(self):
+        kernel, balancer = self.build()
+        mapping = kernel.mmap(PAGE, PagePolicy.BIND, nodes=[0])
+        for _ in range(8):
+            balancer.record_access(mapping, 0, cpu_node=0)
+        assert balancer.balance(mapping) == 0
+
+    def test_migration_respects_capacity(self):
+        kernel, balancer = self.build()
+        # Fill node 0 completely so nothing can migrate into it.
+        filler = kernel.mmap(16 * MIB, PagePolicy.BIND, nodes=[0])
+        mapping = kernel.mmap(PAGE, PagePolicy.BIND, nodes=[2])
+        for _ in range(8):
+            balancer.record_access(mapping, 0, cpu_node=0)
+        assert balancer.balance(mapping) == 0
+        assert balancer.stats.refused_capacity == 1
+        kernel.munmap(filler)
+
+    def test_migration_budget(self):
+        kernel, balancer = self.build()
+        mapping = kernel.mmap(4 * PAGE, PagePolicy.BIND, nodes=[2])
+        for index in range(4):
+            for _ in range(8):
+                balancer.record_access(mapping, index, cpu_node=0)
+        assert balancer.balance(mapping, max_migrations=2) == 2
+
+    def test_sampling_period(self):
+        kernel = make_kernel()
+        balancer = NumaBalancer(kernel, sample_period=16)
+        mapping = kernel.mmap(PAGE)
+        for _ in range(32):
+            balancer.record_access(mapping, 0, cpu_node=0)
+        assert balancer.stats.samples == 2

@@ -1,0 +1,117 @@
+"""Tests for the §VII packet-switched fabric alternative."""
+
+import pytest
+
+from repro.net import (
+    Addressed,
+    LinkConfig,
+    PacketSwitch,
+    PacketSwitchError,
+    SerialLink,
+)
+from repro.sim import Simulator
+
+
+class _Payload:
+    def __init__(self, tag, wire_bytes=512):
+        self.tag = tag
+        self.wire_bytes = wire_bytes
+
+
+def make_switch(sim, ports=4, **kwargs):
+    switch = PacketSwitch(sim, ports=ports, **kwargs)
+    egress = []
+    for port in range(ports):
+        link = SerialLink(sim, LinkConfig(), name=f"out{port}")
+        switch.attach_egress(port, link)
+        egress.append(link)
+    return switch, egress
+
+
+class TestPacketSwitch:
+    def test_forwards_by_destination(self):
+        sim = Simulator()
+        switch, egress = make_switch(sim)
+        switch.ingress_store(0).try_put(
+            (Addressed(2, _Payload("x")), False)
+        )
+        sim.run()
+        delivered = egress[2].rx.try_get()
+        assert delivered[0].tag == "x"
+        assert switch.frames_forwarded == 1
+
+    def test_no_reconfiguration_needed_for_any_pairing(self):
+        """The packet fabric's §VII selling point: any-to-any at once."""
+        sim = Simulator()
+        switch, egress = make_switch(sim)
+        for source, destination in ((0, 1), (0, 2), (0, 3), (3, 0)):
+            switch.ingress_store(source).try_put(
+                (Addressed(destination, _Payload(f"{source}->{destination}")),
+                 False)
+            )
+        sim.run()
+        assert switch.frames_forwarded == 4
+        assert egress[1].rx.try_get()[0].tag == "0->1"
+        assert egress[0].rx.try_get()[0].tag == "3->0"
+
+    def test_unroutable_destination_dropped(self):
+        sim = Simulator()
+        switch, _egress = make_switch(sim)
+        switch.ingress_store(0).try_put((Addressed(99, _Payload("x")), False))
+        switch.ingress_store(0).try_put(("not-addressed", False))
+        sim.run()
+        assert switch.frames_unroutable == 2
+
+    def test_congestion_drops_on_queue_overflow(self):
+        sim = Simulator()
+        switch, _egress = make_switch(sim, egress_queue_frames=2)
+        # Many ingress ports burst at one egress: the queue (2) overflows.
+        for source in range(4):
+            for _ in range(4):
+                switch.ingress_store(source).try_put(
+                    (Addressed(1, _Payload("burst", wire_bytes=4096)), False)
+                )
+        sim.run()
+        assert switch.frames_dropped_congestion > 0
+        assert (
+            switch.frames_forwarded + switch.frames_dropped_congestion == 16
+        )
+
+    def test_corruption_propagates(self):
+        sim = Simulator()
+        switch, egress = make_switch(sim)
+        switch.ingress_store(0).try_put((Addressed(1, _Payload("bad")), True))
+        sim.run()
+        _payload, corrupted = egress[1].rx.try_get()
+        assert corrupted is True
+
+    def test_shared_egress_serializes(self):
+        """Two senders to one destination share the output fibre: the
+        second frame finishes roughly one serialization time later."""
+        sim = Simulator()
+        switch, egress = make_switch(sim)
+        big = 125_000  # 1 Mb ≈ 10.3 µs on a 100G link with coding
+        switch.ingress_store(0).try_put(
+            (Addressed(1, _Payload("a", wire_bytes=big)), False)
+        )
+        switch.ingress_store(2).try_put(
+            (Addressed(1, _Payload("b", wire_bytes=big)), False)
+        )
+        sim.run()
+        config = LinkConfig()
+        expected_two = (
+            switch.forwarding_latency_s
+            + 2 * config.serialization_time(big)
+            + config.flight_latency_s
+        )
+        assert sim.now == pytest.approx(expected_two, rel=0.05)
+
+    def test_minimum_ports(self):
+        with pytest.raises(PacketSwitchError):
+            PacketSwitch(Simulator(), ports=1)
+
+    def test_bad_port_lookup(self):
+        sim = Simulator()
+        switch, _egress = make_switch(sim)
+        with pytest.raises(PacketSwitchError):
+            switch.ingress_store(9)

@@ -1,0 +1,519 @@
+"""Tests for the perf model and the application models (VoltDB,
+Memcached, Twemproxy, Elasticsearch)."""
+
+import pytest
+
+from repro.apps import (
+    CHALLENGE_PROFILES,
+    Elasticsearch,
+    ElasticsearchModel,
+    Memcached,
+    MemcachedLatencyModel,
+    Twemproxy,
+    VoltDb,
+    VoltDbModel,
+)
+from repro.mem import AccessProfile
+from repro.perf import CpiModel, PerfAggregator, PerfSample
+from repro.testbed import MemoryConfigKind, make_environment
+from repro.workloads import (
+    CacheOpType,
+    Challenge,
+    CorpusConfig,
+    EtcConfig,
+    EtcGenerator,
+    NestedQuery,
+    NestedTrackGenerator,
+    YCSB_WORKLOADS,
+    YcsbGenerator,
+    build_corpus,
+)
+
+ENVS = {kind: make_environment(kind) for kind in MemoryConfigKind}
+
+
+class TestCpiModel:
+    def test_remote_latency_raises_cpi(self):
+        cpi = CpiModel()
+        profile = AccessProfile(llc_miss_ratio=0.02)
+        local = cpi.evaluate(profile, ENVS[MemoryConfigKind.LOCAL])
+        remote = cpi.evaluate(
+            profile, ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED]
+        )
+        assert remote.total_cpi > local.total_cpi
+        assert remote.ipc < local.ipc
+
+    def test_mlp_grows_with_latency_but_saturates(self):
+        cpi = CpiModel()
+        local = cpi.mlp_for_latency(85e-9, 85e-9)
+        remote = cpi.mlp_for_latency(950e-9, 85e-9)
+        huge = cpi.mlp_for_latency(1e-3, 85e-9)
+        assert local < remote <= cpi.mlp_max
+        assert huge == cpi.mlp_max
+
+    def test_stall_fraction_bounds(self):
+        cpi = CpiModel()
+        profile = AccessProfile(llc_miss_ratio=0.05)
+        for env in ENVS.values():
+            breakdown = cpi.evaluate(profile, env)
+            assert 0.0 <= breakdown.backend_stall_fraction < 1.0
+
+    def test_zero_miss_profile_immune_to_disaggregation(self):
+        cpi = CpiModel()
+        profile = AccessProfile(llc_miss_ratio=0.0)
+        local = cpi.evaluate(profile, ENVS[MemoryConfigKind.LOCAL])
+        remote = cpi.evaluate(
+            profile, ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED]
+        )
+        assert remote.total_cpi == pytest.approx(local.total_cpi)
+
+    def test_writes_stall_less_than_reads(self):
+        cpi = CpiModel()
+        env = ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED]
+        read_heavy = AccessProfile(llc_miss_ratio=0.02, write_fraction=0.0)
+        write_heavy = AccessProfile(llc_miss_ratio=0.02, write_fraction=1.0)
+        assert (
+            cpi.evaluate(write_heavy, env).backend_stall_cpi
+            < cpi.evaluate(read_heavy, env).backend_stall_cpi
+        )
+
+    def test_perf_sample_arithmetic(self):
+        sample = PerfSample(
+            instructions=8e9,
+            cycles=10e9,
+            task_clock_s=20.0,
+            wall_clock_s=2.0,
+            stalled_cycles_backend=5e9,
+        )
+        assert sample.thread_ipc == pytest.approx(0.8)
+        assert sample.utilized_cores == pytest.approx(10.0)
+        assert sample.package_ipc == pytest.approx(8.0)
+        assert sample.backend_stall_fraction == pytest.approx(0.5)
+
+    def test_aggregator_combines(self):
+        agg = PerfAggregator()
+        agg.add(PerfSample(1e9, 2e9, 1.0, 1.0))
+        agg.add(PerfSample(3e9, 2e9, 1.0, 1.0))
+        combined = agg.combined()
+        assert combined.thread_ipc == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            PerfAggregator().combined()
+
+
+class TestVoltDbFunctional:
+    def test_partitioning_is_stable(self):
+        db = VoltDb(partitions=8)
+        assert db.partition_of(42) == db.partition_of(42)
+
+    def test_insert_read_roundtrip(self):
+        db = VoltDb(partitions=4)
+        db.insert(7, {"field0": "hello"})
+        assert db.read(7) == {"field0": "hello"}
+        assert db.read(8) is None
+
+    def test_update_requires_existing_row(self):
+        db = VoltDb(partitions=4)
+        assert db.update(1, {"field0": "x"}) is False
+        db.insert(1, {"field0": "x"})
+        assert db.update(1, {"field0": "y"}) is True
+        assert db.read(1)["field0"] == "y"
+
+    def test_scan_returns_ordered_rows(self):
+        db = VoltDb(partitions=4)
+        for key in range(20):
+            db.insert(key, {"field0": str(key)})
+        rows = db.scan(5, 4)
+        assert [r["field0"] for r in rows] == ["5", "6", "7", "8"]
+
+    def test_rows_spread_across_partitions(self):
+        db = VoltDb(partitions=4)
+        for key in range(100):
+            db.insert(key, {})
+        assert db.partition_sizes() == [25, 25, 25, 25]
+
+    def test_ycsb_stream_executes(self):
+        db = VoltDb(partitions=8)
+        for key in range(1000):
+            db.insert(key, {"field0": f"v{key}"})
+        generator = YcsbGenerator(YCSB_WORKLOADS["A"], record_count=1000)
+        for op in generator.operations(2000):
+            db.execute(op)
+        assert db.committed > 2000
+
+    def test_read_returns_copy(self):
+        db = VoltDb(partitions=2)
+        db.insert(1, {"field0": "orig"})
+        row = db.read(1)
+        row["field0"] = "mutated"
+        assert db.read(1)["field0"] == "orig"
+
+
+class TestVoltDbModel:
+    def test_paper_stall_fractions(self):
+        """§VI-D: 55.5% back-end stalls local, 80.9% single-remote."""
+        local = VoltDbModel(ENVS[MemoryConfigKind.LOCAL], 32).evaluate("A")
+        single = VoltDbModel(
+            ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED], 32
+        ).evaluate("A")
+        assert local.backend_stall_fraction == pytest.approx(0.555, abs=0.02)
+        assert single.backend_stall_fraction == pytest.approx(0.809, abs=0.02)
+
+    def test_local_wins_workload_a(self):
+        results = {
+            kind: VoltDbModel(ENVS[kind], 32).evaluate("A").throughput_ops
+            for kind in MemoryConfigKind
+        }
+        assert results[MemoryConfigKind.LOCAL] == max(results.values())
+
+    def test_fig7_a32_degradations_in_band(self):
+        base = VoltDbModel(ENVS[MemoryConfigKind.LOCAL], 32).evaluate("A")
+        degradations = {}
+        for kind in MemoryConfigKind:
+            metric = VoltDbModel(ENVS[kind], 32).evaluate("A")
+            degradations[kind] = 1 - metric.throughput_ops / base.throughput_ops
+        # Paper: scale-out 5.95%, interleaved 5.62%, single 7.97%,
+        # bonding 10.03% — accept a ±4pp band around each.
+        assert degradations[MemoryConfigKind.SCALE_OUT] == pytest.approx(
+            0.0595, abs=0.04
+        )
+        assert degradations[MemoryConfigKind.INTERLEAVED] == pytest.approx(
+            0.0562, abs=0.04
+        )
+        assert degradations[MemoryConfigKind.SINGLE_DISAGGREGATED] == (
+            pytest.approx(0.0797, abs=0.04)
+        )
+        assert degradations[MemoryConfigKind.BONDING_DISAGGREGATED] == (
+            pytest.approx(0.1003, abs=0.04)
+        )
+
+    def test_low_partition_counts_hurt_disaggregated_most(self):
+        """§VI-D: at 4 partitions TF configs are significantly slower."""
+        local4 = VoltDbModel(ENVS[MemoryConfigKind.LOCAL], 4).evaluate("A")
+        single4 = VoltDbModel(
+            ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED], 4
+        ).evaluate("A")
+        assert single4.throughput_ops < 0.7 * local4.throughput_ops
+
+    def test_workload_e_insensitive_to_configuration(self):
+        results = [
+            VoltDbModel(ENVS[kind], 32).evaluate("E").throughput_ops
+            for kind in MemoryConfigKind
+        ]
+        assert max(results) / min(results) < 1.10
+
+    def test_ucc_higher_under_disaggregation(self):
+        """§VI-D: higher latency → fewer yields → higher UCC."""
+        for partitions in (16, 32, 64):
+            local = VoltDbModel(
+                ENVS[MemoryConfigKind.LOCAL], partitions
+            ).evaluate("A")
+            single = VoltDbModel(
+                ENVS[MemoryConfigKind.SINGLE_DISAGGREGATED], partitions
+            ).evaluate("A")
+            assert single.utilized_cores > local.utilized_cores
+
+    def test_package_ipc_grows_with_partitions(self):
+        values = [
+            VoltDbModel(ENVS[MemoryConfigKind.LOCAL], p)
+            .evaluate("A")
+            .package_ipc
+            for p in (4, 16, 32, 64)
+        ]
+        assert values == sorted(values)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            VoltDbModel(ENVS[MemoryConfigKind.LOCAL], 4).evaluate("Z")
+
+
+class TestMemcachedFunctional:
+    def test_set_get_roundtrip(self):
+        cache = Memcached(1 << 16)
+        cache.set("k", b"value")
+        assert cache.get("k") == b"value"
+
+    def test_miss_returns_none(self):
+        cache = Memcached(1 << 16)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = Memcached(3 * (1 + 100 + 64))  # fits 3 items exactly
+        for key in "abc":
+            cache.set(key, b"x" * 100)
+        cache.get("a")             # a becomes MRU
+        cache.set("d", b"x" * 100)  # evicts b (LRU)
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_accounts_bytes(self):
+        cache = Memcached(1 << 16)
+        cache.set("k", b"a" * 100)
+        used = cache.used_bytes
+        cache.set("k", b"a" * 50)
+        assert cache.used_bytes == used - 50
+
+    def test_capacity_never_exceeded(self):
+        cache = Memcached(4096)
+        for i in range(200):
+            cache.set(f"key{i}", b"v" * 64)
+        assert cache.used_bytes <= 4096
+
+    def test_oversized_item_rejected(self):
+        cache = Memcached(128)
+        with pytest.raises(ValueError):
+            cache.set("big", b"x" * 1000)
+
+    def test_delete(self):
+        cache = Memcached(1 << 16)
+        cache.set("k", b"v")
+        assert cache.delete("k") is True
+        assert cache.delete("k") is False
+        assert cache.get("k") is None
+
+    def test_etc_workload_hit_ratio_band(self):
+        """Functional ETC run at small scale: LRU + Zipf + uniform warm-up
+        should land in the high-70s..mid-80s hit-ratio band."""
+        config = EtcConfig(
+            cache_bytes=1 << 21,
+            keyspace_bytes=3 << 20,
+            mean_item_bytes=330,
+        )
+        generator = EtcGenerator(config, seed=3)
+        cache = Memcached(config.cache_bytes)
+        for op in generator.warmup_operations():
+            cache.set(op.key, b"x" * op.value_bytes)
+        cache.stats.gets = cache.stats.hits = 0
+        for op in generator.operations(30_000):
+            if op.op_type is CacheOpType.GET:
+                cache.get(op.key)
+            else:
+                cache.set(op.key, b"x" * op.value_bytes)
+        assert 0.70 <= cache.stats.hit_ratio <= 0.90
+
+
+class TestMemcachedLatencyModel:
+    def test_paper_mean_latencies(self):
+        """§VI-E: 600/614/635/650/713 µs mean GET latency."""
+        targets = {
+            MemoryConfigKind.LOCAL: 600e-6,
+            MemoryConfigKind.INTERLEAVED: 614e-6,
+            MemoryConfigKind.SINGLE_DISAGGREGATED: 635e-6,
+            MemoryConfigKind.BONDING_DISAGGREGATED: 650e-6,
+            MemoryConfigKind.SCALE_OUT: 713e-6,
+        }
+        for kind, target in targets.items():
+            model = MemcachedLatencyModel(ENVS[kind])
+            assert model.mean_latency_s() == pytest.approx(target, rel=0.02), kind
+
+    def test_tf_configs_within_7_percent_of_local(self):
+        local = MemcachedLatencyModel(ENVS[MemoryConfigKind.LOCAL])
+        for kind in (
+            MemoryConfigKind.INTERLEAVED,
+            MemoryConfigKind.SINGLE_DISAGGREGATED,
+            MemoryConfigKind.BONDING_DISAGGREGATED,
+        ):
+            model = MemcachedLatencyModel(ENVS[kind])
+            increase = model.mean_latency_s() / local.mean_latency_s() - 1
+            assert increase <= 0.09  # "average increase in latency of up-to 7%"
+
+    def test_sampled_distribution_matches_moments(self):
+        model = MemcachedLatencyModel(ENVS[MemoryConfigKind.LOCAL])
+        recorder = model.record(40_000)
+        assert recorder.mean == pytest.approx(model.mean_latency_s(), rel=0.02)
+        assert recorder.percentile(90) == pytest.approx(
+            model.p90_latency_s(), rel=0.05
+        )
+
+    def test_scale_out_has_heaviest_tail(self):
+        degradations = {
+            kind: MemcachedLatencyModel(ENVS[kind])
+            .record(20_000)
+            .degradation_at(90)
+            for kind in MemoryConfigKind
+        }
+        assert degradations[MemoryConfigKind.SCALE_OUT] == max(
+            degradations.values()
+        )
+        assert degradations[MemoryConfigKind.LOCAL] == min(
+            degradations.values()
+        )
+
+
+class TestTwemproxy:
+    def make_pool(self, servers=2):
+        return Twemproxy([Memcached(1 << 20) for _ in range(servers)])
+
+    def test_routing_is_stable(self):
+        proxy = self.make_pool()
+        assert proxy.server_for("key1") is proxy.server_for("key1")
+
+    def test_get_set_through_proxy(self):
+        proxy = self.make_pool()
+        proxy.set("hello", b"world")
+        assert proxy.get("hello") == b"world"
+        assert proxy.forwarded == 2
+
+    def test_keys_spread_across_servers(self):
+        proxy = self.make_pool(servers=2)
+        keys = [f"key{i}" for i in range(2000)]
+        counts = proxy.key_distribution(keys)
+        assert all(count > 600 for count in counts)  # roughly balanced
+
+    def test_delete_through_proxy(self):
+        proxy = self.make_pool()
+        proxy.set("k", b"v")
+        assert proxy.delete("k") is True
+        assert proxy.get("k") is None
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Twemproxy([])
+
+
+class TestElasticsearchFunctional:
+    @pytest.fixture()
+    def engine(self):
+        engine = Elasticsearch(shards=4)
+        engine.index_many(build_corpus(CorpusConfig(documents=800)))
+        return engine
+
+    def test_documents_distributed(self, engine):
+        assert engine.document_count() == 800
+        sizes = [len(s.documents) for s in engine.shards]
+        assert all(size == 200 for size in sizes)
+
+    def test_rtq_finds_tagged_documents(self, engine):
+        generator = NestedTrackGenerator()
+        query = next(generator.queries(Challenge.RTQ, 1))
+        hits = engine.search(query)
+        for doc_id in hits:
+            assert query.tag in engine.shard_of(doc_id).documents[doc_id].tags
+
+    def test_rtq_results_complete(self, engine):
+        query = NestedQuery(Challenge.RTQ, tag="tag0000")
+        hits = set(engine.search(query))
+        expected = {
+            p.doc_id
+            for shard in engine.shards
+            for p in shard.documents.values()
+            if "tag0000" in p.tags
+        }
+        assert hits == expected
+
+    def test_rnqihbs_filters_answer_history(self, engine):
+        query = NestedQuery(Challenge.RNQIHBS, min_answers=5, before_date=2800)
+        for doc_id in engine.search(query):
+            post = engine.shard_of(doc_id).documents[doc_id]
+            assert sum(1 for d in post.answer_dates if d < 2800) >= 5
+
+    def test_rstq_sorts_descending_by_date(self, engine):
+        query = NestedQuery(Challenge.RSTQ, tag="tag0000", sort_by_date=True)
+        hits = engine.search(query)
+        dates = [engine.shard_of(d).documents[d].created for d in hits]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_match_all_returns_everything(self, engine):
+        hits = engine.search(NestedQuery(Challenge.MA))
+        assert len(hits) == 800
+
+    def test_thread_pool_accounting(self, engine):
+        engine.search(NestedQuery(Challenge.MA))
+        assert engine.thread_pool_completed["search"] == 1
+        assert engine.thread_pool_completed["write"] == 800
+
+
+class TestElasticsearchModel:
+    def test_scale_out_wins_rtq(self):
+        """§VI-F: for RTQ scale-out outperforms everything incl. local."""
+        results = {
+            kind: ElasticsearchModel(ENVS[kind], 32).throughput_qps(
+                Challenge.RTQ
+            )
+            for kind in MemoryConfigKind
+        }
+        assert results[MemoryConfigKind.SCALE_OUT] == max(results.values())
+        assert (
+            results[MemoryConfigKind.SCALE_OUT]
+            > 1.3 * results[MemoryConfigKind.LOCAL]
+        )
+
+    def test_scale_out_beats_tf_on_sync_heavy_challenges(self):
+        for challenge in (Challenge.RNQIHBS, Challenge.RSTQ):
+            results = {
+                kind: ElasticsearchModel(ENVS[kind], 32).throughput_qps(
+                    challenge
+                )
+                for kind in MemoryConfigKind
+            }
+            so = results[MemoryConfigKind.SCALE_OUT]
+            for kind in (
+                MemoryConfigKind.INTERLEAVED,
+                MemoryConfigKind.BONDING_DISAGGREGATED,
+                MemoryConfigKind.SINGLE_DISAGGREGATED,
+            ):
+                assert results[kind] < so, (challenge, kind)
+
+    def test_match_all_converges(self):
+        """§VI-F: for MA the TF configs match local and scale-out."""
+        results = [
+            ElasticsearchModel(ENVS[kind], 5).throughput_qps(Challenge.MA)
+            for kind in MemoryConfigKind
+        ]
+        assert max(results) / min(results) < 1.25
+
+    def test_sync_heavy_challenges_degrade_with_shards(self):
+        """§VI-F: 'shards scaling results in a throughput degradation'."""
+        env = ENVS[MemoryConfigKind.LOCAL]
+        for challenge in (Challenge.RNQIHBS, Challenge.RSTQ):
+            at5 = ElasticsearchModel(env, 5).throughput_qps(challenge)
+            at32 = ElasticsearchModel(env, 32).throughput_qps(challenge)
+            assert at32 < at5, challenge
+
+    def test_single_channel_is_worst_tf_config(self):
+        # On the bandwidth-heavy challenges the single channel saturates
+        # first; MA is excluded (tiny streamed volume, so bonding's
+        # latency penalty dominates there instead).
+        for challenge in (Challenge.RTQ, Challenge.RNQIHBS, Challenge.RSTQ):
+            results = {
+                kind: ElasticsearchModel(ENVS[kind], 32).throughput_qps(
+                    challenge
+                )
+                for kind in (
+                    MemoryConfigKind.SINGLE_DISAGGREGATED,
+                    MemoryConfigKind.BONDING_DISAGGREGATED,
+                    MemoryConfigKind.INTERLEAVED,
+                )
+            }
+            assert results[MemoryConfigKind.SINGLE_DISAGGREGATED] == min(
+                results.values()
+            ), challenge
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ElasticsearchModel(ENVS[MemoryConfigKind.LOCAL], 0)
+
+
+class TestPerfSampleGlue:
+    def test_metrics_roundtrip_through_perf_counters(self):
+        """VoltDbMetrics -> PerfSample must preserve the §VI-D identities."""
+        metric = VoltDbModel(ENVS[MemoryConfigKind.LOCAL], 32).evaluate("A")
+        sample = metric.to_perf_sample(wall_clock_s=2.0)
+        assert sample.utilized_cores == pytest.approx(metric.utilized_cores)
+        assert sample.thread_ipc == pytest.approx(metric.thread_ipc)
+        assert sample.package_ipc == pytest.approx(metric.package_ipc)
+        assert sample.backend_stall_fraction == pytest.approx(
+            metric.backend_stall_fraction
+        )
+
+    def test_samples_aggregate_across_phases(self):
+        agg = PerfAggregator()
+        for workload in "AB":
+            metric = VoltDbModel(
+                ENVS[MemoryConfigKind.LOCAL], 16
+            ).evaluate(workload)
+            agg.add(metric.to_perf_sample())
+        combined = agg.combined()
+        assert combined.wall_clock_s == pytest.approx(2.0)
+        assert 0.0 < combined.backend_stall_fraction < 1.0

@@ -1,0 +1,179 @@
+"""Tests for RemoteBuffer — the user-facing disaggregated-memory API."""
+
+import pytest
+
+from repro.mem import AddressError, MIB
+from repro.osmodel import PagePolicy
+from repro.testbed import RemoteBuffer, Testbed
+
+
+@pytest.fixture()
+def attached():
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    return testbed, attachment
+
+
+class TestRemoteBuffer:
+    def test_local_buffer_roundtrip(self, attached):
+        testbed, _attachment = attached
+        buffer = RemoteBuffer.allocate(testbed.node0, 256 * 1024)
+        buffer.write(0, b"local bytes")
+        assert buffer.read(0, 11) == b"local bytes"
+        buffer.free()
+
+    def test_remote_buffer_lands_on_donor(self, attached):
+        testbed, attachment = attached
+        buffer = RemoteBuffer.allocate(
+            testbed.node0,
+            256 * 1024,
+            policy=PagePolicy.BIND,
+            numa_nodes=[attachment.plan.numa_node_id],
+        )
+        buffer.write(0, b"over the wire")
+        assert buffer.read(0, 13) == b"over the wire"
+        # The donor actually holds the bytes: the buffer's first page is
+        # inside the TF window, whose offset maps into the pinned range.
+        page = buffer.mapping.pages[0]
+        window = testbed.node0.tf_window
+        donor_address = (
+            attachment.grant.effective_base
+            + (page.address - window.start)
+            - attachment.plan.section_indices[0]
+            * testbed.node0.spec.section_bytes
+        )
+        assert testbed.node1.dram.read_now(donor_address, 13) == b"over the wire"
+        buffer.free()
+
+    def test_access_spanning_pages(self, attached):
+        testbed, attachment = attached
+        page = testbed.node0.spec.page_bytes
+        buffer = RemoteBuffer.allocate(
+            testbed.node0,
+            4 * page,
+            policy=PagePolicy.BIND,
+            numa_nodes=[attachment.plan.numa_node_id],
+        )
+        blob = bytes(range(256)) * ((2 * page) // 256)
+        buffer.write(page // 2, blob)  # straddles 2+ page boundaries
+        assert buffer.read(page // 2, len(blob)) == blob
+        buffer.free()
+
+    def test_interleaved_buffer_spreads_pages(self, attached):
+        testbed, attachment = attached
+        buffer = RemoteBuffer.allocate(
+            testbed.node0,
+            8 * testbed.node0.spec.page_bytes,
+            policy=PagePolicy.INTERLEAVE,
+            numa_nodes=[0, attachment.plan.numa_node_id],
+        )
+        histogram = buffer.node_histogram()
+        assert histogram[0] == 4
+        assert histogram[attachment.plan.numa_node_id] == 4
+        # Functional across the mix of local and remote pages.
+        buffer.write(0, b"\x5a" * (2 * testbed.node0.spec.page_bytes))
+        assert buffer.read(0, 4) == b"\x5a" * 4
+        buffer.free()
+
+    def test_slice_sugar(self, attached):
+        testbed, _attachment = attached
+        buffer = RemoteBuffer.allocate(testbed.node0, 64 * 1024)
+        buffer[100:110] = b"0123456789"
+        assert buffer[100:110] == b"0123456789"
+        assert len(buffer) == 64 * 1024
+        buffer.free()
+
+    def test_bounds_checked(self, attached):
+        testbed, _attachment = attached
+        buffer = RemoteBuffer.allocate(testbed.node0, 1024)
+        with pytest.raises(AddressError):
+            buffer.read(1000, 100)
+        with pytest.raises(AddressError):
+            buffer.write(-1, b"x")
+        buffer.free()
+
+    def test_use_after_free_rejected(self, attached):
+        testbed, _attachment = attached
+        buffer = RemoteBuffer.allocate(testbed.node0, 1024)
+        buffer.free()
+        with pytest.raises(AddressError):
+            buffer.read(0, 1)
+        buffer.free()  # idempotent
+
+    def test_slice_size_mismatch_rejected(self, attached):
+        testbed, _attachment = attached
+        buffer = RemoteBuffer.allocate(testbed.node0, 1024)
+        with pytest.raises(AddressError):
+            buffer[0:4] = b"too long"
+        buffer.free()
+
+
+class TestMigrationPreservesContent:
+    """NUMA migration must be invisible to applications: content moves."""
+
+    def test_migrated_page_keeps_its_bytes(self, attached):
+        from repro.osmodel import NumaBalancer
+
+        testbed, attachment = attached
+        remote_node = attachment.plan.numa_node_id
+        buffer = RemoteBuffer.allocate(
+            testbed.node0, 2 * testbed.node0.spec.page_bytes,
+            policy=PagePolicy.BIND, numa_nodes=[remote_node],
+        )
+        blob = bytes(range(256)) * (testbed.node0.spec.page_bytes // 256)
+        buffer.write(0, blob)
+        balancer = NumaBalancer(testbed.node0.kernel, sample_period=1,
+                                min_samples=2)
+        for _ in range(6):
+            balancer.record_access(buffer.mapping, 0, cpu_node=0)
+        assert balancer.balance(buffer.mapping) == 1
+        assert buffer.mapping.pages[0].node_id == 0  # now local
+        assert buffer.read(0, len(blob)) == blob     # content intact
+        buffer.free()
+
+    def test_local_to_local_migration_also_copies(self, attached):
+        testbed, _attachment = attached
+        kernel = testbed.node0.kernel
+        mapping = kernel.mmap(testbed.node0.spec.page_bytes)
+        source_address = mapping.pages[0].address
+        testbed.node0.run_store(source_address, b"\x7e" * 128)
+        # Force a move within node 0 via the allocator (same-node moves
+        # are normally no-ops through migrate_page, so emulate a target).
+        # Instead verify the copier contract directly:
+        destination = kernel.mmap(testbed.node0.spec.page_bytes)
+        kernel.page_copier(
+            source_address,
+            destination.pages[0].address,
+            testbed.node0.spec.page_bytes,
+        )
+        assert testbed.node0.run_load(
+            destination.pages[0].address
+        ) == b"\x7e" * 128
+        kernel.munmap(mapping)
+        kernel.munmap(destination)
+
+
+class TestRemoteBufferFuzz:
+    def test_random_writes_match_reference_buffer(self, attached):
+        """RemoteBuffer over remote pages must behave exactly like one
+        flat bytearray, whatever the offsets do at page boundaries."""
+        from repro.sim import SeededRNG
+
+        testbed, attachment = attached
+        page = testbed.node0.spec.page_bytes
+        size = 3 * page
+        buffer = RemoteBuffer.allocate(
+            testbed.node0, size,
+            policy=PagePolicy.INTERLEAVE,
+            numa_nodes=[0, attachment.plan.numa_node_id],
+        )
+        reference = bytearray(size)
+        rng = SeededRNG(99)
+        for step in range(12):
+            offset = rng.randint(0, size - 1)
+            length = rng.randint(1, min(size - offset, page + 512))
+            blob = bytes([rng.randint(0, 255)]) * length
+            buffer.write(offset, blob)
+            reference[offset:offset + length] = blob
+        assert buffer.read(0, size) == bytes(reference)
+        buffer.free()

@@ -1,0 +1,336 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=1)
+        sim.schedule(1.0, order.append, "early", priority=-1)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_event_count_increments(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.event_count == 4
+
+    def test_max_events_guard_trips_on_livelock(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_timeout_advances_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(2.5)
+            return sim.now
+
+        assert sim.run_process(proc()) == 2.5
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 3.0
+
+    def test_timeout_value_is_returned_from_yield(self):
+        sim = Simulator()
+
+        def proc():
+            value = yield Timeout(1.0, value="payload")
+            return value
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(0.0)
+            return 42
+
+        assert sim.run_process(proc()) == 42
+
+    def test_waiting_on_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return (result, sim.now)
+
+        assert sim.run_process(parent()) == ("done", 3.0)
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        sim = Simulator()
+
+        def empty():
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        child = sim.process(empty())
+        sim.run()
+
+        def parent():
+            yield child
+            return sim.now
+
+        assert sim.run_process(parent()) == 0.0
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a waitable"
+
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run_process(proc())
+
+    def test_crash_in_process_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_process(proc())
+
+    def test_deadlocked_process_detected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Signal("never-fires")
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            sim.run_process(proc())
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_all_of_waits_for_every_child(self):
+        sim = Simulator()
+
+        def child(delay, tag):
+            yield Timeout(delay)
+            return tag
+
+        children = [sim.process(child(d, i)) for i, d in enumerate([3.0, 1.0, 2.0])]
+
+        def parent():
+            results = yield sim.all_of(children)
+            return (results, sim.now)
+
+        results, when = sim.run_process(parent())
+        assert results == [0, 1, 2]
+        assert when == 3.0
+
+
+class TestSignals:
+    def test_fire_wakes_waiter_with_value(self):
+        sim = Simulator()
+        signal = Signal("data")
+
+        def waiter():
+            value = yield signal
+            return (value, sim.now)
+
+        proc = sim.process(waiter())
+        sim.schedule(4.0, signal.fire, "hello")
+        sim.run()
+        assert proc.result == ("hello", 4.0)
+
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        signal = Signal()
+        results = []
+
+        def waiter(tag):
+            yield signal
+            results.append(tag)
+
+        for tag in range(3):
+            sim.process(waiter(tag))
+        sim.schedule(1.0, signal.fire)
+        sim.run()
+        assert sorted(results) == [0, 1, 2]
+
+    def test_reusable_signal_resets_after_fire(self):
+        sim = Simulator()
+        signal = Signal()
+        wakeups = []
+
+        def waiter():
+            yield signal
+            wakeups.append(sim.now)
+            yield signal
+            wakeups.append(sim.now)
+
+        sim.process(waiter())
+        sim.schedule(1.0, signal.fire)
+        sim.schedule(2.0, signal.fire)
+        sim.run()
+        assert wakeups == [1.0, 2.0]
+
+    def test_oneshot_signal_latches(self):
+        sim = Simulator()
+        signal = Signal(oneshot=True)
+        signal.fire("latched")
+
+        def late_waiter():
+            value = yield signal
+            return value
+
+        assert sim.run_process(late_waiter()) == "latched"
+
+    def test_waiter_count(self):
+        sim = Simulator()
+        signal = Signal()
+
+        def waiter():
+            yield signal
+
+        sim.process(waiter())
+        sim.run(until=0.0)
+        # The process has started and subscribed.
+        sim.step() if sim._queue else None
+        assert signal.waiter_count <= 1
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_blocked_process(self):
+        sim = Simulator()
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+            return "slept"
+
+        proc = sim.process(sleeper())
+        sim.schedule(5.0, proc.interrupt, "wake up")
+        sim.run()
+        assert proc.result == ("interrupted", "wake up", 5.0)
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt("too late")
+        sim.run()
+        assert proc.alive is False
+
+    def test_uncaught_interrupt_kills_quietly(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        proc = sim.process(sleeper())
+        sim.schedule(1.0, proc.interrupt)
+        sim.run()  # must not raise
+        assert proc.alive is False
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, delay):
+                yield Timeout(delay)
+                trace.append((tag, sim.now))
+                yield Timeout(delay * 2)
+                trace.append((tag, sim.now))
+
+            for tag in range(5):
+                sim.process(worker(tag, 0.5 + tag * 0.25))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,300 @@
+"""Tests for the workload generators (STREAM, YCSB, ETC, ESRally)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SeededRNG, ZipfGenerator
+from repro.testbed import MemoryConfigKind, make_environment
+from repro.workloads import (
+    CacheOpType,
+    Challenge,
+    CorpusConfig,
+    EtcConfig,
+    EtcGenerator,
+    NestedTrackGenerator,
+    StreamConfig,
+    StreamKernel,
+    StreamModel,
+    YCSB_WORKLOADS,
+    YcsbGenerator,
+    YcsbOperationType,
+    build_corpus,
+    stream_reference_kernels,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        zipf = ZipfGenerator(1000, 1.0, SeededRNG(1))
+        total = sum(zipf.probability(i) for i in range(1000))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_zero_is_most_popular(self):
+        zipf = ZipfGenerator(1000, 1.0, SeededRNG(1))
+        assert zipf.probability(0) > zipf.probability(1) > zipf.probability(10)
+
+    def test_samples_within_range(self):
+        zipf = ZipfGenerator(50, 1.2, SeededRNG(2))
+        samples = zipf.sample_many(5000)
+        assert samples.min() >= 0
+        assert samples.max() < 50
+
+    def test_empirical_skew_matches_head_mass(self):
+        zipf = ZipfGenerator(10_000, 1.0, SeededRNG(3))
+        samples = zipf.sample_many(50_000)
+        head = (samples < 100).mean()
+        assert head == pytest.approx(zipf.head_mass(100), abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfGenerator(100, 1.0, SeededRNG(7)).sample_many(100)
+        b = ZipfGenerator(100, 1.0, SeededRNG(7)).sample_many(100)
+        assert (a == b).all()
+
+
+class TestStreamModel:
+    def test_kernel_costs_match_paper(self):
+        assert StreamKernel.COPY.bytes_per_iter == 16
+        assert StreamKernel.COPY.flops_per_iter == 0
+        assert StreamKernel.SCALE.flops_per_iter == 1
+        assert StreamKernel.ADD.bytes_per_iter == 24
+        assert StreamKernel.TRIAD.flops_per_iter == 2
+
+    def test_default_footprint_is_3_66_gib(self):
+        config = StreamConfig()
+        assert config.footprint_bytes == pytest.approx(3.66e9, rel=0.1)
+
+    def test_single_disaggregated_caps_near_channel_max(self):
+        env = make_environment(MemoryConfigKind.SINGLE_DISAGGREGATED)
+        model = StreamModel(env)
+        bw8 = model.sustained_bandwidth(StreamKernel.COPY, 8)
+        assert 10e9 <= bw8 <= 13.5e9  # close to 12.5 GiB/s ceiling
+
+    def test_four_threads_below_saturation(self):
+        env = make_environment(MemoryConfigKind.SINGLE_DISAGGREGATED)
+        model = StreamModel(env)
+        bw4 = model.sustained_bandwidth(StreamKernel.COPY, 4)
+        bw8 = model.sustained_bandwidth(StreamKernel.COPY, 8)
+        assert bw4 < bw8
+
+    def test_oversaturation_droops(self):
+        env = make_environment(MemoryConfigKind.SINGLE_DISAGGREGATED)
+        model = StreamModel(env)
+        bw8 = model.sustained_bandwidth(StreamKernel.COPY, 8)
+        bw16 = model.sustained_bandwidth(StreamKernel.COPY, 16)
+        assert bw16 <= bw8  # §VI-C: performance decreases past the knee
+
+    def test_bonding_gains_about_30_percent(self):
+        single = StreamModel(
+            make_environment(MemoryConfigKind.SINGLE_DISAGGREGATED)
+        )
+        bonding = StreamModel(
+            make_environment(MemoryConfigKind.BONDING_DISAGGREGATED)
+        )
+        s = single.sustained_bandwidth(StreamKernel.COPY, 16)
+        b = bonding.sustained_bandwidth(StreamKernel.COPY, 16)
+        assert 1.15 <= b / s <= 1.45  # "~30% improvement"
+
+    def test_interleaved_outperforms_both_disaggregated(self):
+        kinds = (
+            MemoryConfigKind.SINGLE_DISAGGREGATED,
+            MemoryConfigKind.BONDING_DISAGGREGATED,
+            MemoryConfigKind.INTERLEAVED,
+        )
+        results = {
+            kind: StreamModel(make_environment(kind)).sustained_bandwidth(
+                StreamKernel.COPY, 16
+            )
+            for kind in kinds
+        }
+        assert results[MemoryConfigKind.INTERLEAVED] == max(results.values())
+
+    def test_run_covers_all_kernels(self):
+        env = make_environment(MemoryConfigKind.INTERLEAVED)
+        results = StreamModel(env).run(StreamConfig(threads=8))
+        assert set(results) == {"copy", "scale", "add", "triad"}
+
+    def test_reference_kernels_functional(self):
+        arrays = stream_reference_kernels(256)
+        a, b, c = arrays["a"], arrays["b"], arrays["c"]
+        np.testing.assert_allclose(c, a + b)           # add
+        np.testing.assert_allclose(arrays["triad"], b + 3.0 * c)
+
+    def test_invalid_thread_count(self):
+        env = make_environment(MemoryConfigKind.LOCAL)
+        with pytest.raises(ValueError):
+            StreamModel(env).sustained_bandwidth(StreamKernel.COPY, 0)
+
+
+class TestYcsb:
+    def test_all_six_workloads_defined(self):
+        assert set(YCSB_WORKLOADS) == set("ABCDEF")
+
+    def test_mix_weights_sum_to_one(self):
+        for workload in YCSB_WORKLOADS.values():
+            total = (
+                workload.read
+                + workload.update
+                + workload.insert
+                + workload.scan
+                + workload.read_modify_write
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_paper_grouping_read_intensive(self):
+        """§VI-D: B, C, D, E are read-intensive; A, F are mixed."""
+        for name in "BCDE":
+            assert YCSB_WORKLOADS[name].is_read_intensive, name
+        for name in "AF":
+            assert not YCSB_WORKLOADS[name].is_read_intensive, name
+
+    def test_workload_a_empirical_mix(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["A"], record_count=1000)
+        mix = generator.sample_mix(20_000)
+        assert mix[YcsbOperationType.READ] == pytest.approx(0.5, abs=0.02)
+        assert mix[YcsbOperationType.UPDATE] == pytest.approx(0.5, abs=0.02)
+
+    def test_workload_c_is_pure_reads(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["C"], record_count=1000)
+        mix = generator.sample_mix(5_000)
+        assert mix == {YcsbOperationType.READ: 1.0}
+
+    def test_workload_e_scan_lengths_bounded(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["E"], record_count=1000)
+        for op in generator.operations(2000):
+            if op.op_type is YcsbOperationType.SCAN:
+                assert 1 <= op.scan_length <= 100
+
+    def test_inserts_extend_keyspace(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["D"], record_count=100)
+        inserted = [
+            op.key
+            for op in generator.operations(2000)
+            if op.op_type is YcsbOperationType.INSERT
+        ]
+        assert inserted == sorted(inserted)
+        assert inserted[0] == 100  # first insert goes after the load keys
+
+    def test_zipfian_keys_are_skewed(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["C"], record_count=10_000)
+        keys = [op.key for op in generator.operations(20_000)]
+        head_fraction = sum(1 for key in keys if key < 100) / len(keys)
+        assert head_fraction > 0.3  # heavy head under zipf(0.99)
+
+    def test_latest_distribution_prefers_recent(self):
+        generator = YcsbGenerator(YCSB_WORKLOADS["D"], record_count=10_000)
+        reads = [
+            op.key
+            for op in generator.operations(5_000)
+            if op.op_type is YcsbOperationType.READ
+        ]
+        recent = sum(1 for key in reads if key > 9_000) / len(reads)
+        assert recent > 0.5
+
+    def test_bad_mix_rejected(self):
+        from repro.workloads.ycsb import YcsbWorkload
+
+        with pytest.raises(ValueError):
+            YcsbWorkload("bogus", read=0.5, update=0.2)
+
+    def test_deterministic_stream(self):
+        ops_a = list(
+            YcsbGenerator(YCSB_WORKLOADS["A"], seed=3).operations(50)
+        )
+        ops_b = list(
+            YcsbGenerator(YCSB_WORKLOADS["A"], seed=3).operations(50)
+        )
+        assert ops_a == ops_b
+
+
+class TestEtc:
+    def small_config(self):
+        return EtcConfig(
+            cache_bytes=1 << 20,
+            keyspace_bytes=(3 << 20) // 2,
+            requests_per_thread=100,
+        )
+
+    def test_get_set_ratio(self):
+        generator = EtcGenerator(self.small_config())
+        ops = list(generator.operations(20_000))
+        gets = sum(1 for op in ops if op.op_type is CacheOpType.GET)
+        sets = len(ops) - gets
+        assert gets / sets == pytest.approx(30.0, rel=0.15)
+
+    def test_warmup_fills_cache(self):
+        config = self.small_config()
+        generator = EtcGenerator(config)
+        total = sum(op.value_bytes + 64 for op in generator.warmup_operations())
+        assert total >= config.cache_bytes
+
+    def test_warmup_keys_unique(self):
+        generator = EtcGenerator(self.small_config())
+        keys = [op.key for op in generator.warmup_operations()]
+        assert len(keys) == len(set(keys))
+
+    def test_value_sizes_long_tailed_but_bounded(self):
+        generator = EtcGenerator(self.small_config())
+        sizes = [generator.value_size() for _ in range(2000)]
+        assert min(sizes) >= 16
+        assert max(sizes) <= 64 * 1024
+        assert 100 <= float(np.median(sizes)) <= 400  # ETC-like body
+
+    def test_expected_hit_ratio_in_paper_band(self):
+        """§VI-E: 'an average hit ratio varying from 80% to 82%'."""
+        generator = EtcGenerator()  # paper-default 10/15 GiB config
+        ratio = generator.expected_hit_ratio(
+            model_keys=50_000, model_requests=200_000
+        )
+        assert 0.78 <= ratio <= 0.84
+
+    def test_keyspace_must_cover_cache(self):
+        with pytest.raises(ValueError):
+            EtcConfig(cache_bytes=2, keyspace_bytes=1)
+
+    def test_scaled_preserves_ratio(self):
+        config = EtcConfig().scaled(0.001)
+        assert config.keyspace_bytes / config.cache_bytes == pytest.approx(
+            1.5, rel=0.01
+        )
+
+
+class TestEsrally:
+    def test_corpus_deterministic(self):
+        a = build_corpus(CorpusConfig(documents=100))
+        b = build_corpus(CorpusConfig(documents=100))
+        assert a == b
+
+    def test_corpus_shape(self):
+        posts = build_corpus(CorpusConfig(documents=500))
+        assert len(posts) == 500
+        assert all(1 <= len(p.tags) <= 5 for p in posts)
+        assert all(p.answer_count == len(p.answer_dates) for p in posts)
+        assert all(
+            all(d >= p.created for d in p.answer_dates) for p in posts
+        )
+
+    def test_answer_counts_long_tailed(self):
+        posts = build_corpus(CorpusConfig(documents=3000))
+        counts = [p.answer_count for p in posts]
+        assert max(counts) > 50          # some heavily-answered questions
+        assert float(np.median(counts)) <= 2  # most have very few
+
+    def test_query_stream_per_challenge(self):
+        generator = NestedTrackGenerator()
+        rtq = list(generator.queries(Challenge.RTQ, 10))
+        assert all(q.tag is not None for q in rtq)
+        rnq = list(generator.queries(Challenge.RNQIHBS, 10))
+        assert all(q.min_answers == 100 for q in rnq)
+        assert all(q.before_date is not None for q in rnq)
+        rstq = list(generator.queries(Challenge.RSTQ, 10))
+        assert all(q.sort_by_date for q in rstq)
+        ma = list(generator.queries(Challenge.MA, 3))
+        assert all(q.tag is None for q in ma)
+
+    def test_query_tags_skewed(self):
+        generator = NestedTrackGenerator()
+        tags = [q.tag for q in generator.queries(Challenge.RTQ, 3000)]
+        top = max(tags.count(t) for t in set(tags))
+        assert top / len(tags) > 0.05  # a popular tag dominates
