@@ -1,0 +1,337 @@
+# Verbatim copy of the seed simulation kernel (commit 5b6f256), kept so
+# the perf harness can measure the optimized kernel against the exact
+# baseline it replaced. Do not "fix" or optimize this file.
+"""Deterministic discrete-event simulation kernel.
+
+Every timed component in the ThymesisFlow reproduction (serdes lanes, LLC
+framers, DRAM banks, application thread pools) runs on this engine. The
+design goals are:
+
+* **Determinism** — events scheduled for the same timestamp fire in a
+  stable order (priority, then insertion sequence), so simulations are
+  bit-reproducible for a given seed.
+* **Coroutine processes** — model code is written as generators that
+  ``yield`` waitable objects (:class:`Timeout`, :class:`Signal`,
+  :class:`Process`), in the style of SimPy, which keeps pipeline stages
+  readable.
+* **No wall-clock dependence** — simulated time is a plain ``float`` of
+  seconds; nothing here ever consults the host clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Signal",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding junk)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Waitable:
+    """Base class for things a process may ``yield``.
+
+    A waitable either completes immediately (``triggered``) or records the
+    waiting process and resumes it later via ``_resume``.
+    """
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Waitable):
+    """Suspend the yielding process for ``delay`` simulated seconds.
+
+    The optional ``value`` is returned from the ``yield`` expression,
+    which is occasionally handy for modelling data that arrives with a
+    fixed latency.
+    """
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        sim.schedule(self.delay, process._resume, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal(_Waitable):
+    """A one-shot or reusable event that processes can wait on.
+
+    ``fire(value)`` wakes every currently-waiting process with ``value``.
+    By default a signal is *reusable*: after firing it resets and can be
+    waited on again (useful for "new frame arrived" notifications).  Pass
+    ``oneshot=True`` for latching semantics: once fired, later waiters
+    resume immediately with the fired value.
+    """
+
+    def __init__(self, name: str = "", oneshot: bool = False):
+        self.name = name
+        self.oneshot = oneshot
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Process] = []
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        if self.oneshot and self.fired:
+            sim.schedule(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiters, delivering ``value`` from their ``yield``."""
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process.sim.schedule(0.0, process._resume, value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class Process(_Waitable):
+    """A coroutine running inside the simulator.
+
+    Wraps a generator; each ``yield`` hands a :class:`_Waitable` to the
+    kernel. A process is itself waitable: yielding a process suspends the
+    yielder until the target returns, delivering its return value.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.alive = True
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._joiners: List[Process] = []
+        self._join_signal = Signal(name=f"{self.name}.done", oneshot=True)
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    # -- waitable protocol -------------------------------------------------
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        if not self.alive:
+            sim.schedule(0.0, process._resume, self.result)
+        else:
+            self._joiners.append(process)
+
+    # -- kernel internals --------------------------------------------------
+    def _resume(self, value: Any = None) -> None:
+        if not self.alive:
+            return
+        try:
+            if self._pending_interrupt is not None:
+                exc, self._pending_interrupt = self._pending_interrupt, None
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process quietly.
+            self._finish(None, error=exc, raise_error=False)
+            return
+        except BaseException as exc:
+            self._finish(None, error=exc, raise_error=True)
+            return
+        if not isinstance(target, _Waitable):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected "
+                "Timeout, Signal or Process"
+            )
+            self._finish(None, error=exc, raise_error=True)
+            return
+        target._subscribe(self.sim, self)
+
+    def _finish(
+        self,
+        result: Any,
+        error: Optional[BaseException] = None,
+        raise_error: bool = False,
+    ) -> None:
+        self.alive = False
+        self.result = result
+        self.error = error
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim.schedule(0.0, joiner._resume, result)
+        self._join_signal.fire(result)
+        if error is not None and raise_error:
+            self.sim._record_crash(self, error)
+
+    # -- public API ---------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        The interrupt is delivered immediately (as a zero-delay event), so
+        a process blocked on a long timeout wakes up now.
+        """
+        if not self.alive:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        self.sim.schedule(0.0, self._resume, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, int, Callable, tuple]] = []
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._crashed: List[Tuple[Process, BaseException]] = []
+        self.event_count = 0
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable,
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), callback, args),
+        )
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process and start it at time now."""
+        proc = Process(self, generator, name=name)
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    # -- execution -----------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event. Returns False when queue empty."""
+        if not self._queue:
+            return False
+        time, _priority, _seq, callback, args = heapq.heappop(self._queue)
+        self._now = time
+        self.event_count += 1
+        callback(*args)
+        self._raise_if_crashed()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or simulated time exceeds ``until``.
+
+        Returns the simulated time at which execution stopped.  A
+        ``max_events`` guard turns accidental infinite event loops into a
+        loud failure instead of a hang.
+        """
+        events = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; probable livelock at "
+                    f"t={self._now}"
+                )
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run ``generator`` as a process to completion.
+
+        Returns the process return value; re-raises any crash.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if proc.error is not None:
+            raise proc.error
+        if proc.alive:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock?)"
+            )
+        return proc.result
+
+    # -- crash plumbing --------------------------------------------------------
+    def _record_crash(self, process: Process, error: BaseException) -> None:
+        self._crashed.append((process, error))
+
+    def _raise_if_crashed(self) -> None:
+        if self._crashed:
+            process, error = self._crashed[0]
+            self._crashed.clear()
+            # Re-raise the original exception so callers can catch the
+            # domain error type; annotate with the crashing process.
+            if hasattr(error, "add_note"):  # Python 3.11+
+                error.add_note(f"raised inside process {process.name!r}")
+            raise error
+
+    # -- helpers ----------------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Shorthand so model code reads ``yield sim.timeout(x)``."""
+        return Timeout(delay, value)
+
+    def all_of(self, waitables: Iterable[_Waitable]) -> Process:
+        """A process completing when every waitable in the list has."""
+
+        def _waiter():
+            results = []
+            for waitable in waitables:
+                results.append((yield waitable))
+            return results
+
+        return self.process(_waiter(), name="all_of")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self._now!r}, pending={len(self._queue)})"

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from ..mem.address import AddressRange
+from ..mem.address import AddressRange, CACHELINE_BYTES
 from ..opencapi.ports import OpenCapiC1Port
-from ..opencapi.transactions import MemTransaction, ResponseCode
+from ..opencapi.transactions import MemTransaction, ResponseCode, TLCommand
 from ..sim.engine import Process, Signal, Simulator
 from ..sim.stats import LatencyRecorder
 from .hbm import HbmCache
@@ -61,6 +61,11 @@ class ComputeEndpoint:
         self.window: Optional[AddressRange] = None
         self.hbm: Optional[HbmCache] = None
         self._outstanding: Dict[int, Signal] = {}
+        #: Reassembly state for outstanding burst requests, keyed by the
+        #: burst's base transaction id. Response segments arrive as the
+        #: donor's per-frame serves complete; the request's signal fires
+        #: when the last line lands.
+        self._bulk_rx: Dict[int, dict] = {}
         self.rtt = LatencyRecorder(f"{name}.rtt")
         self.requests = 0
         self.hbm_hits = 0
@@ -87,25 +92,46 @@ class ComputeEndpoint:
         if self.window is None:
             raise EndpointError(f"{self.name}: no window assigned")
         started = self.sim.now
-        self.requests += 1
+        self.requests += txn.burst
         internal_address = self.window.offset_of(txn.address)
         # HBM caching layer (§VII): reads that hit never leave the card.
-        if self.hbm is not None and txn.command.name == "RD_MEM":
+        # Bulk transfers bypass the cache (their working sets are moved
+        # once, not re-referenced), but bulk writes must still
+        # invalidate any cached lines they overwrite.
+        if (
+            self.hbm is not None
+            and txn.burst == 1
+            and txn.command.name == "RD_MEM"
+        ):
             cached = self.hbm.lookup(internal_address, txn.size)
             if cached is not None:
                 self.hbm_hits += 1
-                yield self.sim.timeout(self.hbm.config.hit_latency_s)
+                yield self.hbm.config.hit_latency_s
                 self.rtt.add(self.sim.now - started)
                 return txn.make_response(data=cached)
         try:
-            remote_address, network_id = self.rmmu.translate(internal_address)
+            remote_address, network_id = self.rmmu.translate(
+                internal_address, lines=txn.burst
+            )
         except RmmuFault:
-            self.fault_responses += 1
+            self.fault_responses += txn.burst
             return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
         outbound = txn.with_address(remote_address)
         outbound.network_id = network_id
         done = Signal(name=f"{self.name}.txn{outbound.txn_id}", oneshot=True)
         self._outstanding[outbound.txn_id] = done
+        if outbound.burst > 1:
+            self._bulk_rx[outbound.txn_id] = {
+                "lines": outbound.burst,
+                "left": outbound.burst,
+                "data": (
+                    bytearray(outbound.size)
+                    if outbound.command == TLCommand.RD_MEM
+                    else None
+                ),
+                "code": ResponseCode.OK,
+                "started": started,
+            }
         if self.transaction_timeout_s is not None:
             self.sim.schedule(
                 self.transaction_timeout_s, self._expire, outbound.txn_id
@@ -114,11 +140,17 @@ class ComputeEndpoint:
         response = yield done
         if response is None:
             # Watchdog fired: the donor (or every path to it) is gone.
-            self.timeouts += 1
+            self.timeouts += txn.burst
             return txn.make_response(code=ResponseCode.RETRY)
-        self.rtt.add(self.sim.now - started)
+        if txn.burst == 1:
+            # Burst round-trips are recorded per line as each response
+            # segment arrives (see deliver_response).
+            self.rtt.add(self.sim.now - started)
         if self.hbm is not None:
-            if txn.command.name == "RD_MEM" and response.data is not None:
+            if txn.burst > 1:
+                if txn.command.name == "WRITE_MEM":
+                    self.hbm.invalidate_range(internal_address, txn.size)
+            elif txn.command.name == "RD_MEM" and response.data is not None:
                 self.hbm.fill(internal_address, response.data)
             elif txn.command.name == "WRITE_MEM" and txn.data is not None:
                 self.hbm.write_through(internal_address, txn.data)
@@ -126,6 +158,7 @@ class ComputeEndpoint:
 
     def _expire(self, txn_id: int) -> None:
         pending = self._outstanding.pop(txn_id, None)
+        self._bulk_rx.pop(txn_id, None)
         if pending is not None:
             pending.fire(None)
 
@@ -135,12 +168,53 @@ class ComputeEndpoint:
             raise EndpointError(
                 f"{self.name}: unexpected non-response on network: {txn!r}"
             )
+        base_id = txn.txn_id - txn.burst_offset
+        gather = self._bulk_rx.get(base_id)
+        if gather is not None:
+            self._gather_segment(base_id, gather, txn)
+            return
         done = self._outstanding.pop(txn.txn_id, None)
         if done is None:
             # A response for a request satisfied by replayed duplicate —
             # drop it; the id matcher already completed the bus txn.
             return
         done.fire(txn)
+
+    def _gather_segment(
+        self, base_id: int, gather: dict, txn: MemTransaction
+    ) -> None:
+        """Fold one burst response segment into the reassembly buffer."""
+        now = self.sim.now
+        started = gather["started"]
+        for _ in range(txn.burst):
+            self.rtt.add(now - started)
+        if gather["data"] is not None and txn.data is not None:
+            offset = txn.burst_offset * CACHELINE_BYTES
+            gather["data"][offset : offset + len(txn.data)] = txn.data
+        if txn.response_code is not ResponseCode.OK:
+            gather["code"] = txn.response_code
+        gather["left"] -= txn.burst
+        if gather["left"] > 0:
+            return
+        del self._bulk_rx[base_id]
+        done = self._outstanding.pop(base_id, None)
+        if done is None:
+            return
+        assembled = MemTransaction(
+            txn.command,
+            address=txn.address - txn.burst_offset * CACHELINE_BYTES,
+            size=(
+                len(gather["data"])
+                if gather["data"] is not None
+                else gather["lines"] * CACHELINE_BYTES
+            ),
+            data=bytes(gather["data"]) if gather["data"] is not None else None,
+            txn_id=base_id,
+            network_id=txn.network_id,
+            arrival_channel=txn.arrival_channel,
+            response_code=gather["code"],
+        )
+        done.fire(assembled)
 
 
 class MemoryStealingEndpoint:
@@ -182,9 +256,9 @@ class MemoryStealingEndpoint:
         txn.pasid = self.pasid
         response = yield self.c1.master(txn)
         if response.response_code is ResponseCode.ACCESS_DENIED:
-            self.denied += 1
+            self.denied += txn.burst
         else:
-            self.served += 1
+            self.served += txn.burst
         response.arrival_channel = txn.arrival_channel
         response.network_id = txn.network_id
         yield self.routing.forward_response(response)

@@ -33,6 +33,7 @@ from ..opencapi.transactions import (
     FLIT_BYTES,
     MemTransaction,
     TLCommand,
+    split_burst,
     transaction_flits,
 )
 from ..sim.engine import Simulator
@@ -70,7 +71,9 @@ class LlcConfig:
                 f"flits_per_frame must be >= 5: {self.flits_per_frame}"
             )
         if self.rx_queue_slots < 1:
-            raise ValueError(f"rx_queue_slots must be >= 1")
+            raise ValueError(
+                f"rx_queue_slots must be >= 1: {self.rx_queue_slots}"
+            )
 
     @property
     def frame_wire_bytes(self) -> int:
@@ -107,7 +110,15 @@ class Frame:
     def digest(self) -> bytes:
         signature = []
         for txn in self.transactions:
-            signature.append(txn.txn_id * 131 + txn.command.value)
+            if txn.burst == 1:
+                signature.append(txn.txn_id * 131 + txn.command.value)
+            else:
+                # A burst segment covers the same per-line headers the
+                # unbatched formulation would put on the wire; the CRC
+                # protects each of them.
+                command = txn.command.value
+                for line in range(txn.burst):
+                    signature.append((txn.txn_id + line) * 131 + command)
         identity = self.frame_id if self.frame_id is not None else -1
         return frame_digest_bytes(identity, signature)
 
@@ -147,7 +158,10 @@ class LlcEndpoint:
 
         # Tx state ---------------------------------------------------------------
         self._tx_queue = Store(sim, name=f"{name}.txq")
-        self._stash: Optional[MemTransaction] = None
+        #: Remainder of a burst transaction split across frames; it sits
+        #: logically at the head of the tx queue (its lines were queued
+        #: before anything submitted later).
+        self._pending_bulk: Optional[MemTransaction] = None
         self._credits = CreditPool(
             sim, self.config.rx_queue_slots, name=f"{name}.credits"
         )
@@ -187,15 +201,15 @@ class LlcEndpoint:
         return self.sim.process(self._submit(txn), name=f"{self.name}.submit")
 
     def _submit(self, txn: MemTransaction) -> Generator:
-        yield self._credits.consume(1)
+        yield self._credits.consume(txn.burst)
         yield self._tx_queue.put(txn)
 
     def try_submit(self, txn: MemTransaction) -> bool:
         """Non-blocking submit; False when out of credits."""
-        if not self._credits.try_consume(1):
+        if not self._credits.try_consume(txn.burst):
             return False
         if not self._tx_queue.try_put(txn):
-            self._credits.grant(1)
+            self._credits.grant(txn.burst)
             return False
         return True
 
@@ -205,7 +219,9 @@ class LlcEndpoint:
 
     def _receive(self) -> Generator:
         txn = yield self._ingress.get()
-        self._pending_grants += 1
+        # A burst segment occupied one ingress slot per cacheline worth
+        # of credit the peer consumed; free them all.
+        self._pending_grants += txn.burst
         self._arm_control_flush()
         return txn
 
@@ -233,7 +249,7 @@ class LlcEndpoint:
         self._expected_id = 0
         self._replay_requested_for = -1
         self._pending_grants = 0
-        self._stash = None
+        self._pending_bulk = None
         while self._tx_queue.try_get() is not None:
             pass
         self._credits.reset(self.config.rx_queue_slots)
@@ -241,35 +257,81 @@ class LlcEndpoint:
     # ------------------------------------------------------------------ tx side
     def _tx_pump(self) -> Generator:
         while True:
-            first = yield self._tx_queue.get()
+            if self._pending_bulk is not None:
+                # Remaining lines of a split burst are logically at the
+                # head of the queue; in the per-line formulation the
+                # blocking get() would fire immediately here anyway.
+                first, self._pending_bulk = self._pending_bulk, None
+            else:
+                first = yield self._tx_queue.get()
             if self.config.packing_delay_s > 0:
                 # Let same-instant submitters land in the queue so the
                 # frame leaves full instead of 1-transaction-per-frame.
-                yield self.sim.timeout(self.config.packing_delay_s)
-            transactions = [first]
-            flits = transaction_flits(first)
-            # Greedily fill the frame with whatever is already queued —
-            # but never wait for more ("immediate transmission").
-            while True:
-                candidate = self._tx_queue.try_get()
-                if candidate is None:
-                    break
-                needed = transaction_flits(candidate)
-                if flits + needed > self.config.flits_per_frame:
-                    # Put it back at the head is impossible with a FIFO
-                    # store; send it in the next frame instead.
-                    self._stash = candidate
-                    break
-                transactions.append(candidate)
-                flits += needed
+                yield self.config.packing_delay_s
+            capacity = self.config.flits_per_frame
+            transactions: List[MemTransaction] = []
+            flits = 0
+            leftover = self._pack(transactions, first, capacity, flits)
+            flits = sum(transaction_flits(t) for t in transactions)
+            if leftover is None:
+                # Greedily fill the frame with whatever is already
+                # queued — but never wait for more ("immediate
+                # transmission").
+                while True:
+                    candidate = self._tx_queue.try_get()
+                    if candidate is None:
+                        break
+                    per_line = transaction_flits(candidate) // candidate.burst
+                    if flits + per_line > capacity:
+                        # Not even one cacheline fits: defer the whole
+                        # candidate, exactly like the per-line case.
+                        leftover = candidate
+                        break
+                    leftover = self._pack(
+                        transactions, candidate, capacity, flits
+                    )
+                    flits = sum(transaction_flits(t) for t in transactions)
+                    if leftover is not None:
+                        break
             frame = self._build_frame(transactions, flits)
             self._transmit(frame)
-            if self._stash is not None:
-                stashed, self._stash = self._stash, None
-                frame = self._build_frame(
-                    [stashed], transaction_flits(stashed)
-                )
+            if leftover is not None:
+                # The stash quirk, per cacheline: the first deferred
+                # line leaves in its own immediate frame; further lines
+                # of a split burst stay pending ahead of the queue.
+                if leftover.burst == 1:
+                    head, rest = leftover, None
+                else:
+                    head = split_burst(leftover, 0, 1)
+                    rest = split_burst(leftover, 1, leftover.burst - 1)
+                frame = self._build_frame([head], transaction_flits(head))
                 self._transmit(frame)
+                self._pending_bulk = rest
+
+    def _pack(
+        self,
+        transactions: List[MemTransaction],
+        txn: MemTransaction,
+        capacity: int,
+        flits: int,
+    ) -> Optional[MemTransaction]:
+        """Pack as many whole cachelines of ``txn`` as fit.
+
+        Returns the unpacked remainder (a split burst) or None when the
+        transaction fit entirely. At least one line always fits: frames
+        hold >= 5 flits and a cacheline is at most 5.
+        """
+        if txn.burst == 1:
+            transactions.append(txn)
+            return None
+        per_line = transaction_flits(txn) // txn.burst
+        room = (capacity - flits) // per_line
+        take = min(txn.burst, room)
+        if take == txn.burst:
+            transactions.append(txn)
+            return None
+        transactions.append(split_burst(txn, 0, take))
+        return split_burst(txn, take, txn.burst - take)
 
     def _build_frame(
         self, transactions: List[MemTransaction], flits: int
@@ -284,7 +346,7 @@ class LlcEndpoint:
         )
         self._next_frame_id += 1
         self.frames_built += 1
-        self.txns_sent += len(transactions)
+        self.txns_sent += sum(t.burst for t in transactions)
         return frame
 
     def _transmit(self, frame: Frame) -> None:
@@ -415,7 +477,7 @@ class LlcEndpoint:
                 raise LlcError(
                     f"{self.name}: ingress overflow — peer violated credits"
                 )
-            self.txns_received += 1
+            self.txns_received += txn.burst
         # Deliver an ack opportunistically with the next outbound frame;
         # if the tx side stays idle the control flush will carry it.
         self._arm_control_flush()

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..mem.address import AddressError, DEFAULT_SECTION_BYTES
+from ..mem.address import AddressError, CACHELINE_BYTES, DEFAULT_SECTION_BYTES
 from ..opencapi.mmio import MmioRegisterFile
 
 __all__ = ["SectionEntry", "Rmmu", "RmmuFault"]
@@ -120,22 +120,38 @@ class Rmmu:
             raise AddressError(f"negative address: {internal_address:#x}")
         return internal_address >> self._shift
 
-    def translate(self, internal_address: int) -> Tuple[int, int]:
+    def translate(
+        self, internal_address: int, lines: int = 1
+    ) -> Tuple[int, int]:
         """Device-internal address → (donor effective address, network id).
 
         Raises :class:`RmmuFault` for unconfigured sections — on the real
         hardware such a transaction is failed back to the bus, which the
         compute endpoint converts to an error response.
+
+        ``lines`` > 1 translates a burst of contiguous cachelines in one
+        table access; the whole run must fall inside a single section
+        (the per-line formulation would otherwise split across entries
+        with potentially discontiguous donor ranges).
         """
         section_index = self.section_of(internal_address)
         entry = self._table.get(section_index)
         if entry is None or not entry.valid:
-            self.faults += 1
+            self.faults += lines
             raise RmmuFault(
                 f"{self.name}: no valid entry for section {section_index} "
                 f"(address {internal_address:#x})"
             )
-        self.translations += 1
+        if lines > 1:
+            last = internal_address + lines * CACHELINE_BYTES - 1
+            if (last >> self._shift) != section_index:
+                self.faults += lines
+                raise RmmuFault(
+                    f"{self.name}: burst of {lines} lines at "
+                    f"{internal_address:#x} straddles section "
+                    f"{section_index}"
+                )
+        self.translations += lines
         return internal_address + entry.offset, entry.network_id
 
     # -- MMIO exposure ---------------------------------------------------------------

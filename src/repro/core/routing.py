@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..opencapi.transactions import MemTransaction
+from ..opencapi.transactions import MemTransaction, split_burst
 from ..sim.engine import Simulator
 from .flow import base_network_id, is_bonded_wire_id
 from .llc import LlcEndpoint
@@ -138,10 +138,33 @@ class RoutingLayer:
         """Waitable forward of a request toward its remote endpoint."""
         if txn.network_id is None:
             raise RoutingError(f"{self.name}: transaction has no network id")
+        channels = self.route_for(txn.network_id)
+        if (
+            txn.burst > 1
+            and is_bonded_wire_id(txn.network_id)
+            and len(channels) > 1
+        ):
+            # Bonded flows spray per cacheline; split the burst so the
+            # round-robin channel sequence matches the per-line
+            # formulation exactly.
+            return self.sim.process(
+                self._forward_burst_bonded(txn), name=f"{self.name}.fwd"
+            )
         index = self.select_channel(txn.network_id)
-        self.forwarded += 1
-        self.per_channel_tx[index] += 1
+        self.forwarded += txn.burst
+        self.per_channel_tx[index] += txn.burst
         return self.channel(index).submit(txn)
+
+    def _forward_burst_bonded(self, txn: MemTransaction) -> Generator:
+        pending = []
+        for line in range(txn.burst):
+            piece = split_burst(txn, line, 1)
+            index = self.select_channel(txn.network_id)
+            self.forwarded += 1
+            self.per_channel_tx[index] += 1
+            pending.append(self.channel(index).submit(piece))
+        for waitable in pending:
+            yield waitable
 
     def forward_response(self, response: MemTransaction):
         """Responses return "using the channel they arrived from"."""
@@ -149,9 +172,9 @@ class RoutingLayer:
             raise RoutingError(
                 f"{self.name}: response without arrival channel"
             )
-        self.responses_returned += 1
+        self.responses_returned += response.burst
         index = response.arrival_channel
-        self.per_channel_tx[index] += 1
+        self.per_channel_tx[index] += response.burst
         return self.channel(index).submit(response)
 
     # -- ingress --------------------------------------------------------------------

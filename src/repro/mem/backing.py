@@ -45,36 +45,62 @@ class BackingStore:
     # -- core accessors ---------------------------------------------------------
     def write(self, address: int, data: bytes) -> None:
         """Store ``data`` at ``address`` (may straddle chunks)."""
-        self._check(address, len(data))
-        view = memoryview(data)
-        cursor = address
-        remaining = len(data)
-        offset = 0
-        while remaining > 0:
-            chunk_index, chunk_offset = divmod(cursor, self.chunk_bytes)
-            span = min(remaining, self.chunk_bytes - chunk_offset)
+        size = len(data)
+        self._check(address, size)
+        if size == 0:
+            return
+        chunk_bytes = self.chunk_bytes
+        chunk_index, chunk_offset = divmod(address, chunk_bytes)
+        if chunk_offset + size <= chunk_bytes:
+            # Fast path: the write lands in a single chunk — assign the
+            # bytes straight through the array's memoryview, no
+            # np.frombuffer copy.
             chunk = self._chunks.get(chunk_index)
             if chunk is None:
-                chunk = np.zeros(self.chunk_bytes, dtype=np.uint8)
+                chunk = np.zeros(chunk_bytes, dtype=np.uint8)
                 self._chunks[chunk_index] = chunk
-            chunk[chunk_offset : chunk_offset + span] = np.frombuffer(
-                view[offset : offset + span], dtype=np.uint8
-            )
+            memoryview(chunk)[chunk_offset : chunk_offset + size] = data
+            self.bytes_written += size
+            return
+        view = memoryview(data)
+        cursor = address
+        remaining = size
+        offset = 0
+        while remaining > 0:
+            chunk_index, chunk_offset = divmod(cursor, chunk_bytes)
+            span = min(remaining, chunk_bytes - chunk_offset)
+            chunk = self._chunks.get(chunk_index)
+            if chunk is None:
+                chunk = np.zeros(chunk_bytes, dtype=np.uint8)
+                self._chunks[chunk_index] = chunk
+            memoryview(chunk)[chunk_offset : chunk_offset + span] = view[
+                offset : offset + span
+            ]
             cursor += span
             offset += span
             remaining -= span
-        self.bytes_written += len(data)
+        self.bytes_written += size
 
     def read(self, address: int, size: int) -> bytes:
         """Load ``size`` bytes; untouched memory reads as zeros."""
         self._check(address, size)
+        chunk_bytes = self.chunk_bytes
+        chunk_index, chunk_offset = divmod(address, chunk_bytes)
+        if chunk_offset + size <= chunk_bytes:
+            # Fast path: single-chunk read — slice and serialize without
+            # the intermediate zero array.
+            self.bytes_read += size
+            chunk = self._chunks.get(chunk_index)
+            if chunk is None:
+                return bytes(size)
+            return chunk[chunk_offset : chunk_offset + size].tobytes()
         out = np.zeros(size, dtype=np.uint8)
         cursor = address
         remaining = size
         offset = 0
         while remaining > 0:
-            chunk_index, chunk_offset = divmod(cursor, self.chunk_bytes)
-            span = min(remaining, self.chunk_bytes - chunk_offset)
+            chunk_index, chunk_offset = divmod(cursor, chunk_bytes)
+            span = min(remaining, chunk_bytes - chunk_offset)
             chunk = self._chunks.get(chunk_index)
             if chunk is not None:
                 out[offset : offset + span] = chunk[

@@ -89,6 +89,32 @@ class DramDevice:
             self._access(address, len(data), data), name=f"{self.name}.write"
         )
 
+    def read_burst(self, address: int, lines: int):
+        """Timed batched read of ``lines`` contiguous cachelines.
+
+        Holds one bank per line (capped at the device's bank count) for a
+        single per-line service interval: when the burst fits the bank
+        pool and no other traffic contends, this completes at exactly the
+        instant ``lines`` concurrent per-line reads would.
+        """
+        return self.sim.process(
+            self._access_burst(address, lines, None),
+            name=f"{self.name}.read",
+        )
+
+    def write_burst(self, address: int, data: bytes):
+        """Timed batched write of contiguous cachelines."""
+        lines, remainder = divmod(len(data), CACHELINE_BYTES)
+        if remainder:
+            raise ValueError(
+                f"{self.name}: burst writes need whole cachelines, "
+                f"got {len(data)} bytes"
+            )
+        return self.sim.process(
+            self._access_burst(address, lines, data),
+            name=f"{self.name}.write",
+        )
+
     def _access(
         self, address: int, size: int, data: Optional[bytes]
     ) -> Generator:
@@ -96,7 +122,7 @@ class DramDevice:
         yield self._banks.acquire()
         try:
             service = self.timing.access_latency_s + self.timing.transfer_time(size)
-            yield self.sim.timeout(service)
+            yield service
             if data is None:
                 result = self.backing.read(address, size)
             else:
@@ -111,6 +137,38 @@ class DramDevice:
         else:
             self.writes += 1
             self.write_latency.add(elapsed)
+        return result
+
+    def _access_burst(
+        self, address: int, lines: int, data: Optional[bytes]
+    ) -> Generator:
+        start = self.sim.now
+        size = lines * CACHELINE_BYTES
+        slots = min(lines, self.timing.banks)
+        yield self._banks.acquire(slots)
+        try:
+            # Lines proceed in parallel across banks, so the burst's
+            # service time is one per-line interval, not the sum.
+            service = self.timing.access_latency_s + self.timing.transfer_time(
+                CACHELINE_BYTES
+            )
+            yield service
+            if data is None:
+                result = self.backing.read(address, size)
+            else:
+                self.backing.write(address, data)
+                result = None
+        finally:
+            self._banks.release(slots)
+        elapsed = self.sim.now - start
+        if data is None:
+            self.reads += lines
+            for _ in range(lines):
+                self.read_latency.add(elapsed)
+        else:
+            self.writes += lines
+            for _ in range(lines):
+                self.write_latency.add(elapsed)
         return result
 
     # -- immediate (untimed) access for functional-only paths -------------------

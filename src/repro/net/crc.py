@@ -29,10 +29,16 @@ def frame_digest_bytes(
     commands); including the frame id makes mis-sequenced frames fail
     the check too.
     """
-    parts = [struct.pack("<Q", frame_id & 0xFFFFFFFFFFFFFFFF)]
-    for value in flit_signature:
-        parts.append(struct.pack("<q", value))
-    return b"".join(parts)
+    signature = (
+        flit_signature
+        if isinstance(flit_signature, (list, tuple))
+        else list(flit_signature)
+    )
+    return struct.pack(
+        f"<Q{len(signature)}q",
+        frame_id & 0xFFFFFFFFFFFFFFFF,
+        *signature,
+    )
 
 
 def check(expected_crc: int, data: bytes) -> bool:

@@ -103,7 +103,7 @@ class PacketSwitch:
             if not 0 <= destination < self.port_count:
                 self.frames_unroutable += 1
                 continue
-            yield self.sim.timeout(self.forwarding_latency_s)
+            yield self.forwarding_latency_s
             queue = self._egress_queues[destination]
             self.queue_depth.add(len(queue))
             if not queue.try_put((frame, corrupted)):

@@ -114,7 +114,7 @@ class CircuitSwitch:
             if egress is None:
                 self.frames_discarded += 1
                 continue
-            yield self.sim.timeout(self.crossing_latency_s)
+            yield self.crossing_latency_s
             self.frames_forwarded += 1
             size = getattr(payload, "wire_bytes", 64)
             yield egress.send(payload, size, pre_corrupted=corrupted)

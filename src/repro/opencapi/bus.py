@@ -48,10 +48,16 @@ class DramBusTarget:
 
     def _serve(self, txn: MemTransaction) -> Generator:
         if txn.command == TLCommand.RD_MEM:
-            data = yield self.dram.read(txn.address, txn.size)
+            if txn.burst > 1:
+                data = yield self.dram.read_burst(txn.address, txn.burst)
+            else:
+                data = yield self.dram.read(txn.address, txn.size)
             return txn.make_response(data=data)
         if txn.command == TLCommand.WRITE_MEM:
-            yield self.dram.write(txn.address, txn.data)
+            if txn.burst > 1:
+                yield self.dram.write_burst(txn.address, txn.data)
+            else:
+                yield self.dram.write(txn.address, txn.data)
             return txn.make_response()
         return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
 
@@ -114,9 +120,9 @@ class SystemBus:
         _window, target = self.target_for(txn.address, txn.size)
         txn.issued_at = self.sim.now
         if txn.command == TLCommand.RD_MEM:
-            self.loads += 1
+            self.loads += txn.burst
         elif txn.command == TLCommand.WRITE_MEM:
-            self.stores += 1
+            self.stores += txn.burst
         return target.handle(txn)
 
     def load(self, address: int, size: int = CACHELINE_BYTES) -> Process:
@@ -130,6 +136,35 @@ class SystemBus:
         return self.sim.process(
             self._store(address, data), name=f"{self.name}.store"
         )
+
+    def load_burst(self, address: int, lines: int) -> Process:
+        """Timed batched load of ``lines`` contiguous cachelines.
+
+        The whole run must fall inside one bus window (callers batch
+        within a page, which never straddles windows).
+        """
+        return self.sim.process(
+            self._issue_burst(MemTransaction.read_burst(address, lines)),
+            name=f"{self.name}.load",
+        )
+
+    def store_burst(self, address: int, data: bytes) -> Process:
+        """Timed batched store of contiguous cachelines."""
+        return self.sim.process(
+            self._issue_burst(MemTransaction.write_burst(address, data)),
+            name=f"{self.name}.store",
+        )
+
+    def _issue_burst(self, txn: MemTransaction) -> Generator:
+        response = yield self.issue(txn)
+        if response.response_code is not ResponseCode.OK:
+            raise BusError(
+                f"{self.name}: burst {txn.command.name} {txn.address:#x} "
+                f"failed: {response.response_code.name}"
+            )
+        if txn.command == TLCommand.RD_MEM:
+            return response.data
+        return response.response_code
 
     def _load(self, address: int, size: int) -> Generator:
         response = yield self.issue(MemTransaction.read(address, size))

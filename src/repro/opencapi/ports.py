@@ -76,10 +76,10 @@ class OpenCapiM1Port:
     def _forward(self, txn: MemTransaction) -> Generator:
         if self._device is None:
             return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
-        self.transactions += 1
-        yield self.sim.timeout(self.crossing_latency_s)
+        self.transactions += txn.burst
+        yield self.crossing_latency_s
         response = yield self._device.handle(txn)
-        yield self.sim.timeout(self.crossing_latency_s)
+        yield self.crossing_latency_s
         return response
 
 
@@ -121,10 +121,10 @@ class OpenCapiC1Port:
         try:
             self.pasids.check_access(txn.pasid, txn.address, txn.size)
         except PermissionError:
-            self.denied += 1
+            self.denied += txn.burst
             return txn.make_response(code=ResponseCode.ACCESS_DENIED)
-        self.mastered += 1
-        yield self.sim.timeout(self.crossing_latency_s)
+        self.mastered += txn.burst
+        yield self.crossing_latency_s
         response = yield self.bus.issue(txn)
-        yield self.sim.timeout(self.crossing_latency_s)
+        yield self.crossing_latency_s
         return response

@@ -23,6 +23,7 @@ __all__ = [
     "FLIT_BYTES",
     "flits_for_payload",
     "transaction_flits",
+    "split_burst",
 ]
 
 #: Width of the LLC datapath: "features a 32B wide datapath" (§IV-A4).
@@ -57,6 +58,19 @@ def _next_txn_id() -> int:
     return next(_txn_ids)
 
 
+def _reserve_txn_ids(count: int) -> int:
+    """Allocate ``count`` consecutive transaction ids; return the first.
+
+    A burst transaction stands for ``count`` per-cacheline transactions;
+    reserving the whole id run keeps the wire identifiers (and hence
+    frame CRC signatures) identical to the per-line formulation.
+    """
+    base = next(_txn_ids)
+    for _ in range(count - 1):
+        next(_txn_ids)
+    return base
+
+
 @dataclass
 class MemTransaction:
     """One memory transaction in flight through the stack.
@@ -81,6 +95,15 @@ class MemTransaction:
     #: credits piggy-backed on this header (LLC backpressure, §IV-A4)
     piggyback_credits: int = 0
     issued_at: float = 0.0
+    #: Number of contiguous cachelines this transaction stands for. A
+    #: burst of N lines owns the consecutive ids txn_id..txn_id+N-1 and
+    #: goes on the wire as N per-line flit groups — one header flit per
+    #: line — so frame boundaries, padding and CRC coverage are exactly
+    #: those of the N-transaction formulation it replaces.
+    burst: int = 1
+    #: Line offset of this (possibly split) burst within the burst it
+    #: was carved from; ``txn_id - burst_offset`` recovers the base id.
+    burst_offset: int = 0
 
     def __post_init__(self):
         if self.size <= 0:
@@ -88,6 +111,13 @@ class MemTransaction:
         if self.data is not None and len(self.data) != self.size:
             raise ValueError(
                 f"data length {len(self.data)} != size {self.size}"
+            )
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1: {self.burst}")
+        if self.burst > 1 and self.size != self.burst * CACHELINE_BYTES:
+            raise ValueError(
+                f"burst of {self.burst} lines must span "
+                f"{self.burst * CACHELINE_BYTES} bytes, got {self.size}"
             )
 
     # -- classification ---------------------------------------------------------
@@ -125,6 +155,38 @@ class MemTransaction:
     def nop(cls) -> "MemTransaction":
         return cls(TLCommand.NOP, size=FLIT_BYTES)
 
+    @classmethod
+    def read_burst(cls, address: int, lines: int) -> "MemTransaction":
+        """Batched read of ``lines`` contiguous cachelines."""
+        if lines == 1:
+            return cls.read(address)
+        return cls(
+            TLCommand.RD_MEM,
+            address=address,
+            size=lines * CACHELINE_BYTES,
+            txn_id=_reserve_txn_ids(lines),
+            burst=lines,
+        )
+
+    @classmethod
+    def write_burst(cls, address: int, data: bytes) -> "MemTransaction":
+        """Batched write of contiguous cachelines (len(data) % 128 == 0)."""
+        lines, remainder = divmod(len(data), CACHELINE_BYTES)
+        if remainder or lines < 1:
+            raise ValueError(
+                f"burst writes need whole cachelines, got {len(data)} bytes"
+            )
+        if lines == 1:
+            return cls.write(address, data)
+        return cls(
+            TLCommand.WRITE_MEM,
+            address=address,
+            size=len(data),
+            data=data,
+            txn_id=_reserve_txn_ids(lines),
+            burst=lines,
+        )
+
     def make_response(
         self,
         data: Optional[bytes] = None,
@@ -137,7 +199,7 @@ class MemTransaction:
         elif self.command == TLCommand.WRITE_MEM:
             command = TLCommand.MEM_WR_RESPONSE
             data = None
-            size = CACHELINE_BYTES
+            size = CACHELINE_BYTES * self.burst
         else:
             raise ValueError(f"no response defined for {self.command}")
         return MemTransaction(
@@ -149,6 +211,8 @@ class MemTransaction:
             network_id=self.network_id,
             arrival_channel=self.arrival_channel,
             response_code=code,
+            burst=self.burst,
+            burst_offset=self.burst_offset,
         )
 
     def with_address(self, address: int) -> "MemTransaction":
@@ -173,11 +237,45 @@ def transaction_flits(txn: MemTransaction) -> int:
     """Flits on the wire: one header flit plus data flits if any.
 
     A 128 B write is 1 + 4 = 5 flits; a read request is a single header
-    flit; NOP padding is one flit by definition (§IV-A4).
+    flit; NOP padding is one flit by definition (§IV-A4). A burst of N
+    cachelines serializes as N per-line flit groups, so its footprint is
+    exactly N times the per-line count.
     """
     if txn.command == TLCommand.NOP:
         return 1
-    header = 1
     if txn.carries_data:
-        return header + flits_for_payload(txn.size)
-    return header
+        per_line_payload = flits_for_payload(txn.size // txn.burst)
+        return txn.burst * (1 + per_line_payload)
+    return txn.burst
+
+
+def split_burst(
+    txn: MemTransaction, line_start: int, lines: int
+) -> MemTransaction:
+    """Carve a ``lines``-cacheline view out of a burst transaction.
+
+    The view keeps per-line identity: its ``txn_id`` is the parent's id
+    plus ``line_start`` (the reserved consecutive run), its address and
+    data window advance accordingly, and ``burst_offset`` accumulates so
+    responses can be matched back to the original burst's base id.
+    """
+    if line_start < 0 or lines < 1 or line_start + lines > txn.burst:
+        raise ValueError(
+            f"split [{line_start}, {line_start + lines}) outside burst "
+            f"of {txn.burst} lines"
+        )
+    data = txn.data
+    if data is not None:
+        data = data[
+            line_start * CACHELINE_BYTES : (line_start + lines)
+            * CACHELINE_BYTES
+        ]
+    return replace(
+        txn,
+        txn_id=txn.txn_id + line_start,
+        address=txn.address + line_start * CACHELINE_BYTES,
+        size=lines * CACHELINE_BYTES,
+        data=data,
+        burst=lines,
+        burst_offset=txn.burst_offset + line_start,
+    )

@@ -13,13 +13,44 @@ design goals are:
   readable.
 * **No wall-clock dependence** — simulated time is a plain ``float`` of
   seconds; nothing here ever consults the host clock.
+
+Performance notes (see ``docs/performance.md``): the kernel is the hot
+loop under every benchmark, so it uses a bucketed two-tier event queue:
+
+* ``_buckets`` — a dict mapping an exact float timestamp to the list of
+  ``(key, target, payload)`` entries pending at that instant, plus
+  ``_times``, a heap of the *distinct* timestamps only.  Simulations of
+  clocked hardware dispatch many events per instant (every flit of a
+  frame, every line of a burst), so scheduling is usually a dict hit
+  and a list append — the heap is touched once per distinct timestamp
+  instead of once per event, and heap entries are bare floats, which
+  compare much faster than tuples.  ``key`` folds priority and
+  insertion sequence into one integer; appends are naturally
+  key-ordered, so a bucket only needs sorting when a non-zero priority
+  was scheduled into it (tracked in ``_dirty``).
+* ``_ready`` — a plain list of ``(key, target, payload)`` entries for
+  the timestamp currently being dispatched.  Zero-delay wakeups (signal
+  fires, process spawns, join notifications — the bulk of datapath
+  traffic) append here and are consumed by index, skipping the bucket
+  machinery entirely.  Entries landing in ``_ready`` always carry
+  larger keys than the bucket being dispatched, so draining the bucket
+  and then ``_ready`` preserves global key order.
+
+``target`` is either a :class:`Process` (resume its generator with
+``payload``) or a plain callback (apply ``payload`` as an args tuple);
+:meth:`Simulator.run` discriminates by class and resumes generators
+inline — send plus bucket re-insert — without any intermediate Python
+call per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from heapq import heappush
+from operator import itemgetter
+from types import GeneratorType
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Simulator",
@@ -29,6 +60,14 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+#: Priority occupies the high bits of the heap key; sequence numbers the
+#: low ``_SEQ_BITS``. 2**48 events is far beyond any plausible run.
+_SEQ_BITS = 48
+_PRIORITY_SHIFT = 1 << _SEQ_BITS
+
+#: Sort key for re-ordering a bucket whose keys arrived out of order.
+_ENTRY_KEY = itemgetter(0)
 
 
 class SimulationError(RuntimeError):
@@ -50,9 +89,11 @@ class Interrupt(Exception):
 class _Waitable:
     """Base class for things a process may ``yield``.
 
-    A waitable either completes immediately (``triggered``) or records the
-    waiting process and resumes it later via ``_resume``.
+    A waitable either completes immediately or records the waiting
+    process and resumes it later by pushing an event entry.
     """
+
+    __slots__ = ()
 
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
         raise NotImplementedError
@@ -63,8 +104,11 @@ class Timeout(_Waitable):
 
     The optional ``value`` is returned from the ``yield`` expression,
     which is occasionally handy for modelling data that arrives with a
-    fixed latency.
+    fixed latency.  A Timeout holds no per-wait state, so one instance
+    may be yielded repeatedly (hot loops hoist the allocation).
     """
+
+    __slots__ = ("delay", "value")
 
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
@@ -73,7 +117,11 @@ class Timeout(_Waitable):
         self.value = value
 
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
-        sim.schedule(self.delay, process._resume, self.value)
+        delay = self.delay
+        if delay == 0.0 and sim._running:
+            sim._ready.append((next(sim._seq), process, self.value))
+        else:
+            sim._push(sim._now + delay, next(sim._seq), process, self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Timeout({self.delay!r})"
@@ -89,6 +137,8 @@ class Signal(_Waitable):
     resume immediately with the fired value.
     """
 
+    __slots__ = ("name", "oneshot", "fired", "value", "_waiters")
+
     def __init__(self, name: str = "", oneshot: bool = False):
         self.name = name
         self.oneshot = oneshot
@@ -98,7 +148,7 @@ class Signal(_Waitable):
 
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
         if self.oneshot and self.fired:
-            sim.schedule(0.0, process._resume, self.value)
+            sim._wake(process, self.value)
         else:
             self._waiters.append(process)
 
@@ -106,9 +156,15 @@ class Signal(_Waitable):
         """Wake all waiters, delivering ``value`` from their ``yield``."""
         self.fired = True
         self.value = value
+        if not self._waiters:
+            return
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            process.sim.schedule(0.0, process._resume, value)
+            sim = process.sim
+            if sim._running:
+                sim._ready.append((next(sim._seq), process, value))
+            else:
+                sim._push(sim._now, next(sim._seq), process, value)
 
     @property
     def waiter_count(self) -> int:
@@ -127,30 +183,72 @@ class Process(_Waitable):
     yielder until the target returns, delivering its return value.
     """
 
+    __slots__ = (
+        "sim",
+        "_name",
+        "_generator",
+        "alive",
+        "result",
+        "error",
+        "_joiners",
+        "_join_signal",
+        "_pending_interrupt",
+    )
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        if not hasattr(generator, "send"):
+        if generator.__class__ is not GeneratorType and not hasattr(
+            generator, "send"
+        ):
             raise SimulationError(
                 f"Process requires a generator, got {type(generator).__name__}"
             )
         self.sim = sim
-        self.name = name or getattr(generator, "__name__", "process")
+        #: Resolved lazily by the ``name`` property — reading the
+        #: generator's ``__name__`` per spawn is measurable overhead in
+        #: spawn-heavy datapaths (every bus load/store is a process).
+        self._name = name
         self._generator = generator
         self.alive = True
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._joiners: List[Process] = []
-        self._join_signal = Signal(name=f"{self.name}.done", oneshot=True)
+        #: Created lazily on first access: most processes finish with no
+        #: external observer, and the Signal + f-string name allocation
+        #: showed up hot in datapath profiles.
+        self._join_signal: Optional[Signal] = None
         self._pending_interrupt: Optional[Interrupt] = None
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if not n:
+            n = self._name = getattr(self._generator, "__name__", "process")
+        return n
+
+    @property
+    def join_signal(self) -> Signal:
+        """Oneshot signal fired with the process result on completion."""
+        if self._join_signal is None:
+            self._join_signal = Signal(name=f"{self.name}.done", oneshot=True)
+            if not self.alive:
+                self._join_signal.fire(self.result)
+        return self._join_signal
 
     # -- waitable protocol -------------------------------------------------
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
         if not self.alive:
-            sim.schedule(0.0, process._resume, self.result)
+            sim._wake(process, self.result)
         else:
             self._joiners.append(process)
 
     # -- kernel internals --------------------------------------------------
     def _resume(self, value: Any = None) -> None:
+        """Advance the generator by one yield (slow / generic path).
+
+        :meth:`Simulator.run` inlines an equivalent of this body for
+        process-shaped entries; this method serves :meth:`Simulator.step`,
+        interrupt delivery, and any externally scheduled resume.
+        """
         if not self.alive:
             return
         try:
@@ -159,24 +257,46 @@ class Process(_Waitable):
                 target = self._generator.throw(exc)
             else:
                 target = self._generator.send(value)
-        except StopIteration as stop:
-            self._finish(getattr(stop, "value", None))
+        except BaseException as exc:
+            self._handle_exception(exc)
             return
-        except Interrupt as exc:
+        cls = target.__class__
+        if cls is Timeout:
+            sim = self.sim
+            sim._push(
+                sim._now + target.delay, next(sim._seq), self, target.value
+            )
+            return
+        if cls is float or cls is int:
+            # Bare-number yield: a timeout with no value, minus the
+            # Timeout allocation (the repo's hot-path idiom).
+            if target >= 0:
+                sim = self.sim
+                sim._push(sim._now + target, next(sim._seq), self, None)
+                return
+            self._bad_yield(target)
+            return
+        if isinstance(target, _Waitable):
+            target._subscribe(self.sim, self)
+            return
+        self._bad_yield(target)
+
+    def _handle_exception(self, exc: BaseException) -> None:
+        """Terminate the process after its generator raised ``exc``."""
+        if isinstance(exc, StopIteration):
+            self._finish(exc.value)
+        elif isinstance(exc, Interrupt):
             # An un-caught interrupt terminates the process quietly.
             self._finish(None, error=exc, raise_error=False)
-            return
-        except BaseException as exc:
+        else:
             self._finish(None, error=exc, raise_error=True)
-            return
-        if not isinstance(target, _Waitable):
-            exc = SimulationError(
-                f"process {self.name!r} yielded {target!r}; expected "
-                "Timeout, Signal or Process"
-            )
-            self._finish(None, error=exc, raise_error=True)
-            return
-        target._subscribe(self.sim, self)
+
+    def _bad_yield(self, target: Any) -> None:
+        exc = SimulationError(
+            f"process {self.name!r} yielded {target!r}; expected "
+            "Timeout, Signal, Process or a non-negative number of seconds"
+        )
+        self._finish(None, error=exc, raise_error=True)
 
     def _finish(
         self,
@@ -187,10 +307,13 @@ class Process(_Waitable):
         self.alive = False
         self.result = result
         self.error = error
-        joiners, self._joiners = self._joiners, []
-        for joiner in joiners:
-            self.sim.schedule(0.0, joiner._resume, result)
-        self._join_signal.fire(result)
+        if self._joiners:
+            joiners, self._joiners = self._joiners, []
+            sim = self.sim
+            for joiner in joiners:
+                sim._wake(joiner, result)
+        if self._join_signal is not None:
+            self._join_signal.fire(result)
         if error is not None and raise_error:
             self.sim._record_crash(self, error)
 
@@ -204,7 +327,7 @@ class Process(_Waitable):
         if not self.alive:
             return
         self._pending_interrupt = Interrupt(cause)
-        self.sim.schedule(0.0, self._resume, None)
+        self.sim._wake(self, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
@@ -212,10 +335,26 @@ class Process(_Waitable):
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+    """The event loop: a two-tier priority queue of timestamped events."""
+
+    __slots__ = (
+        "_times",
+        "_buckets",
+        "_dirty",
+        "_ready",
+        "_running",
+        "_now",
+        "_seq",
+        "_crashed",
+        "event_count",
+    )
 
     def __init__(self):
-        self._queue: List[Tuple[float, int, int, Callable, tuple]] = []
+        self._times: List[float] = []
+        self._buckets: Dict[float, List[Tuple[int, Any, Any]]] = {}
+        self._dirty: set = set()
+        self._ready: List[Tuple[int, Any, Any]] = []
+        self._running = False
         self._now = 0.0
         self._seq = itertools.count()
         self._crashed: List[Tuple[Process, BaseException]] = []
@@ -228,6 +367,15 @@ class Simulator:
         return self._now
 
     # -- scheduling ----------------------------------------------------------
+    def _push(self, time: float, key: int, target: Any, payload: Any) -> None:
+        """Insert one event entry into its timestamp bucket."""
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(key, target, payload)]
+            heappush(self._times, time)
+        else:
+            bucket.append((key, target, payload))
+
     def schedule(
         self,
         delay: float,
@@ -238,26 +386,82 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay!r}")
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._seq), callback, args),
-        )
+        key = next(self._seq)
+        if priority:
+            key += priority * _PRIORITY_SHIFT
+            time = self._now + delay
+            self._push(time, key, callback, args)
+            self._dirty.add(time)
+            return
+        if delay == 0.0 and self._running:
+            self._ready.append((key, callback, args))
+            return
+        self._push(self._now + delay, key, callback, args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable,
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time``.
+
+        Unlike ``schedule(time - now, ...)`` this keys the bucket by the
+        exact float ``time``, which matters when reproducing event
+        timestamps computed incrementally (``a + b`` followed by
+        ``+ c`` is not always ``now + ((a + b + c) - now)`` in floating
+        point).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time!r} < {self._now!r}"
+            )
+        key = next(self._seq)
+        if priority:
+            key += priority * _PRIORITY_SHIFT
+            self._push(time, key, callback, args)
+            self._dirty.add(time)
+            return
+        if time == self._now and self._running:
+            self._ready.append((key, callback, args))
+            return
+        self._push(time, key, callback, args)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register ``generator`` as a process and start it at time now."""
         proc = Process(self, generator, name=name)
-        self.schedule(0.0, proc._resume, None)
+        self._wake(proc, None)
         return proc
+
+    def _wake(self, process: Process, value: Any) -> None:
+        """Enqueue a zero-delay resume of ``process`` with ``value``."""
+        if self._running:
+            self._ready.append((next(self._seq), process, value))
+        else:
+            self._push(self._now, next(self._seq), process, value)
 
     # -- execution -----------------------------------------------------------
     def step(self) -> bool:
         """Execute the single next event. Returns False when queue empty."""
-        if not self._queue:
+        times = self._times
+        if not times:
             return False
-        time, _priority, _seq, callback, args = heapq.heappop(self._queue)
+        time = times[0]
+        bucket = self._buckets[time]
+        if self._dirty and time in self._dirty:
+            self._dirty.discard(time)
+            bucket.sort(key=_ENTRY_KEY)
+        _key, target, payload = bucket.pop(0)
+        if not bucket:
+            heapq.heappop(times)
+            del self._buckets[time]
         self._now = time
         self.event_count += 1
-        callback(*args)
+        if target.__class__ is Process:
+            target._resume(payload)
+        else:
+            target(*payload)
         self._raise_if_crashed()
         return True
 
@@ -267,21 +471,235 @@ class Simulator:
         Returns the simulated time at which execution stopped.  A
         ``max_events`` guard turns accidental infinite event loops into a
         loud failure instead of a hang.
+
+        The loop is deliberately inlined: per timestamp it takes the
+        whole bucket, resumes process generators right here (send plus
+        bucket re-insert), then drains the zero-delay wakeups the batch
+        produced, handling StopIteration completion without leaving the
+        loop.  This is the hottest code in the repository; keep it
+        boring.
         """
+        times = self._times
+        buckets = self._buckets
+        dirty = self._dirty
+        ready = self._ready
+        pop = heapq.heappop
+        push = heappush
+        seq = self._seq
+        crashed = self._crashed
         events = 0
-        while self._queue:
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self._now = until
-                break
-            self.step()
-            events += 1
-            if events > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; probable livelock at "
-                    f"t={self._now}"
-                )
-        if until is not None and self._now < until and not self._queue:
+        entries: List[Tuple[int, Any, Any]] = ready
+        pos = 0
+        self._running = True
+        try:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                pop(times)
+                bucket = buckets.pop(time)
+                if dirty and time in dirty:
+                    dirty.discard(time)
+                    bucket.sort(key=_ENTRY_KEY)
+                self._now = time
+                # Dispatch the batch at `time`: the bucket first, then
+                # the zero-delay wakeups it produced (their keys are
+                # always younger than every bucket entry's, so this is
+                # exactly global key order).
+                entries = bucket
+                pos = 0
+                while True:
+                    if pos >= len(entries):
+                        if entries is ready:
+                            break
+                        entries = ready
+                        pos = 0
+                        continue
+                    _key, target, payload = entries[pos]
+                    pos += 1
+                    if target.__class__ is Process:
+                        if target.alive:
+                            if target._pending_interrupt is None:
+                                try:
+                                    yielded = target._generator.send(payload)
+                                except StopIteration as stop:
+                                    target.alive = False
+                                    result = stop.value
+                                    target.result = result
+                                    joiners = target._joiners
+                                    if joiners:
+                                        target._joiners = []
+                                        for joiner in joiners:
+                                            ready.append(
+                                                (next(seq), joiner, result)
+                                            )
+                                    if target._join_signal is not None:
+                                        target._join_signal.fire(result)
+                                except BaseException as exc:
+                                    target._handle_exception(exc)
+                                    if crashed:
+                                        self.event_count += events + 1
+                                        events = 0
+                                        self._raise_if_crashed()
+                                else:
+                                    ycls = yielded.__class__
+                                    if ycls is float:
+                                        # Bare-number timeout (hot-path
+                                        # idiom): no value, no object.
+                                        if yielded > 0.0:
+                                            when = time + yielded
+                                            bkt = buckets.get(when)
+                                            if bkt is None:
+                                                buckets[when] = [
+                                                    (next(seq), target, None)
+                                                ]
+                                                push(times, when)
+                                            else:
+                                                bkt.append(
+                                                    (next(seq), target, None)
+                                                )
+                                        elif yielded == 0.0:
+                                            ready.append(
+                                                (next(seq), target, None)
+                                            )
+                                        else:
+                                            target._bad_yield(yielded)
+                                            if crashed:
+                                                self.event_count += events + 1
+                                                events = 0
+                                                self._raise_if_crashed()
+                                    elif ycls is Timeout:
+                                        delay = yielded.delay
+                                        if delay:
+                                            when = time + delay
+                                            entry = (
+                                                next(seq),
+                                                target,
+                                                yielded.value,
+                                            )
+                                            bkt = buckets.get(when)
+                                            if bkt is None:
+                                                buckets[when] = [entry]
+                                                push(times, when)
+                                            else:
+                                                bkt.append(entry)
+                                        else:
+                                            ready.append(
+                                                (
+                                                    next(seq),
+                                                    target,
+                                                    yielded.value,
+                                                )
+                                            )
+                                    elif ycls is Signal:
+                                        if yielded.oneshot and yielded.fired:
+                                            ready.append(
+                                                (
+                                                    next(seq),
+                                                    target,
+                                                    yielded.value,
+                                                )
+                                            )
+                                        else:
+                                            yielded._waiters.append(target)
+                                    elif ycls is Process:
+                                        if yielded.alive:
+                                            yielded._joiners.append(target)
+                                        else:
+                                            ready.append(
+                                                (
+                                                    next(seq),
+                                                    target,
+                                                    yielded.result,
+                                                )
+                                            )
+                                    elif ycls is int:
+                                        if yielded >= 0:
+                                            if yielded:
+                                                when = time + yielded
+                                                bkt = buckets.get(when)
+                                                if bkt is None:
+                                                    buckets[when] = [
+                                                        (
+                                                            next(seq),
+                                                            target,
+                                                            None,
+                                                        )
+                                                    ]
+                                                    push(times, when)
+                                                else:
+                                                    bkt.append(
+                                                        (
+                                                            next(seq),
+                                                            target,
+                                                            None,
+                                                        )
+                                                    )
+                                            else:
+                                                ready.append(
+                                                    (next(seq), target, None)
+                                                )
+                                        else:
+                                            target._bad_yield(yielded)
+                                            if crashed:
+                                                self.event_count += events + 1
+                                                events = 0
+                                                self._raise_if_crashed()
+                                    elif isinstance(yielded, _Waitable):
+                                        yielded._subscribe(self, target)
+                                    else:
+                                        target._bad_yield(yielded)
+                                        if crashed:
+                                            self.event_count += events + 1
+                                            events = 0
+                                            self._raise_if_crashed()
+                            else:
+                                target._resume(payload)
+                                if crashed:
+                                    self.event_count += events + 1
+                                    events = 0
+                                    self._raise_if_crashed()
+                        # else: stale wakeup of a finished process — drop.
+                    else:
+                        target(*payload)
+                        if crashed:
+                            self.event_count += events + 1
+                            events = 0
+                            self._raise_if_crashed()
+                    events += 1
+                    if events > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; probable "
+                            f"livelock at t={self._now}"
+                        )
+                del ready[:]
+                pos = 0
+        finally:
+            self._running = False
+            if entries is ready:
+                leftover = ready[pos:]
+            else:
+                leftover = entries[pos:]
+                leftover.extend(ready)
+            del ready[:]
+            pos = 0
+            if leftover:
+                # Exceptional exit mid-batch: spill undispatched wakeups
+                # back into a bucket so a later run()/step() sees them.
+                now = self._now
+                existing = buckets.get(now)
+                if existing is None:
+                    buckets[now] = leftover
+                    push(times, now)
+                else:
+                    # Entries for this same instant were scheduled
+                    # mid-batch; merge and restore key order.
+                    leftover.extend(existing)
+                    leftover.sort(key=_ENTRY_KEY)
+                    buckets[now] = leftover
+            self.event_count += events
+        if until is not None and self._now < until and not times:
             self._now = until
         return self._now
 
@@ -331,4 +749,5 @@ class Simulator:
         return self.process(_waiter(), name="all_of")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Simulator(now={self._now!r}, pending={len(self._queue)})"
+        pending = sum(len(b) for b in self._buckets.values())
+        return f"Simulator(now={self._now!r}, pending={pending})"

@@ -39,31 +39,43 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiters: Deque[Signal] = deque()
+        self._waiters: Deque[tuple] = deque()
 
     @property
     def available(self) -> int:
         return self.capacity - self.in_use
 
-    def acquire(self) -> Signal:
-        """Return a waitable that fires when a slot is granted."""
+    def acquire(self, count: int = 1) -> Signal:
+        """Waitable that fires when ``count`` slots are granted at once.
+
+        Multi-slot acquires (burst DRAM accesses holding one bank per
+        cacheline) queue FIFO behind earlier waiters like everything
+        else, so a wide request cannot starve behind a stream of narrow
+        ones nor vice versa.
+        """
+        if count < 1 or count > self.capacity:
+            raise SimulationError(
+                f"{self.name}: cannot acquire {count} of {self.capacity}"
+            )
         grant = Signal(name=f"{self.name}.grant", oneshot=True)
-        if self.in_use < self.capacity:
-            self.in_use += 1
+        if not self._waiters and self.in_use + count <= self.capacity:
+            self.in_use += count
             grant.fire()
         else:
-            self._waiters.append(grant)
+            self._waiters.append((grant, count))
         return grant
 
-    def release(self) -> None:
-        if self.in_use <= 0:
+    def release(self, count: int = 1) -> None:
+        if count < 1 or self.in_use < count:
             raise SimulationError(f"{self.name}: release without acquire")
-        if self._waiters:
-            # Hand the slot directly to the next waiter: in_use stays put.
-            grant = self._waiters.popleft()
+        self.in_use -= count
+        while self._waiters:
+            grant, needed = self._waiters[0]
+            if self.in_use + needed > self.capacity:
+                break
+            self._waiters.popleft()
+            self.in_use += needed
             grant.fire()
-        else:
-            self.in_use -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

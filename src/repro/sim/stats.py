@@ -8,7 +8,7 @@ so that every benchmark reports numbers through one audited code path.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
@@ -164,16 +164,33 @@ class LatencyRecorder:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._sorted: List[float] = []
+        #: Samples in arrival order; sorted in place lazily at query time.
+        #: Per-sample ``insort`` was O(n) per append and dominated long
+        #: benchmark runs that only read percentiles at the end.
+        self._samples: List[float] = []
+        self._is_sorted = True
         self.stats = RunningStats(name)
 
     def add(self, value: float) -> None:
-        insort(self._sorted, float(value))
+        self._samples.append(float(value))
+        self._is_sorted = False
         self.stats.add(value)
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.add(value)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._is_sorted:
+            self._samples.sort()
+            self._is_sorted = True
+        return self._samples
+
+    @property
+    def _sorted(self) -> List[float]:
+        # Kept under the historical name for callers that peeked at the
+        # sorted sample list directly.
+        return self._ensure_sorted()
 
     @property
     def count(self) -> int:
@@ -184,16 +201,18 @@ class LatencyRecorder:
         return self.stats.mean
 
     def percentile(self, q: float) -> float:
-        return percentile(self._sorted, q)
+        return percentile(self._ensure_sorted(), q)
 
     def cdf(self) -> List[Tuple[float, float]]:
-        n = len(self._sorted)
-        return [(v, (i + 1) / n) for i, v in enumerate(self._sorted)]
+        ordered = self._ensure_sorted()
+        n = len(ordered)
+        return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
 
     def fraction_below(self, threshold: float) -> float:
-        if not self._sorted:
+        ordered = self._ensure_sorted()
+        if not ordered:
             return 0.0
-        return bisect_left(self._sorted, threshold) / len(self._sorted)
+        return bisect_left(ordered, threshold) / len(ordered)
 
     def degradation_at(self, q: float) -> float:
         """Tail degradation: p(q) relative to the mean, as a fraction.

@@ -124,18 +124,52 @@ class Ac922Node:
         # behind the ThymesisFlow window — copy through the bus in
         # cacheline units (the only transaction size the datapath moves).
         self.kernel.page_copier = self._copy_page_content
+        #: When True, page migration moves content as burst transactions
+        #: (one batch per 16-line window); when False it issues the
+        #: equivalent concurrent per-line transactions — same timing,
+        #: more simulator events.
+        self.bulk_transfers = True
 
     def _copy_page_content(self, source: int, destination: int,
                            size: int) -> None:
         """Synchronous page copy (migration quiesces the page)."""
         from ..mem.address import CACHELINE_BYTES
 
+        window_lines = 16
+
         def copier():
             offset = 0
             while offset < size:
-                chunk = min(CACHELINE_BYTES, size - offset)
-                data = yield self.bus.load(source + offset, chunk)
-                yield self.bus.store(destination + offset, data)
+                chunk = min(window_lines * CACHELINE_BYTES, size - offset)
+                if chunk > CACHELINE_BYTES:
+                    chunk -= chunk % CACHELINE_BYTES
+                lines = chunk // CACHELINE_BYTES
+                if lines > 1 and self.bulk_transfers:
+                    data = yield self.bus.load_burst(source + offset, lines)
+                    yield self.bus.store_burst(destination + offset, data)
+                elif lines > 1:
+                    loads = [
+                        self.bus.load(
+                            source + offset + i * CACHELINE_BYTES,
+                            CACHELINE_BYTES,
+                        )
+                        for i in range(lines)
+                    ]
+                    pieces = []
+                    for waitable in loads:
+                        pieces.append((yield waitable))
+                    stores = [
+                        self.bus.store(
+                            destination + offset + i * CACHELINE_BYTES,
+                            pieces[i],
+                        )
+                        for i in range(lines)
+                    ]
+                    for waitable in stores:
+                        yield waitable
+                else:
+                    data = yield self.bus.load(source + offset, chunk)
+                    yield self.bus.store(destination + offset, data)
                 offset += chunk
 
         self.sim.run_process(copier())

@@ -13,19 +13,34 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Sequence
 
-from ..mem.address import AddressError
+from ..mem.address import AddressError, CACHELINE_BYTES
 from ..osmodel.kernel import Mapping
 from ..osmodel.pages import PagePolicy
 from .node import Ac922Node
 
 __all__ = ["RemoteBuffer"]
 
+#: Default transfer window: lines moved per in-flight batch. Sixteen
+#: cachelines (2 KiB) matches one LLC read frame's request capacity.
+DEFAULT_BATCH_LINES = 16
+
 
 class RemoteBuffer:
-    """A process buffer backed by physical pages on one host."""
+    """A process buffer backed by physical pages on one host.
+
+    Cacheline-aligned runs inside one page are moved in *windows* of up
+    to ``batch_lines`` lines. With ``batched=True`` each window is one
+    burst transaction carried through the datapath as a unit; with
+    ``batched=False`` the window's lines are issued as concurrent
+    per-line transactions and joined — the reference formulation the
+    burst path is timing-equivalent to. Unaligned head/tail fragments
+    always go as plain transactions.
+    """
 
     def __init__(self, node: Ac922Node, mapping: Mapping,
-                 size: Optional[int] = None):
+                 size: Optional[int] = None,
+                 batch_lines: int = DEFAULT_BATCH_LINES,
+                 batched: bool = True):
         self.node = node
         self.mapping = mapping
         #: Logical size: the mapping is page-rounded, the buffer is not.
@@ -34,6 +49,10 @@ class RemoteBuffer:
             raise AddressError(
                 f"buffer size {self._size} exceeds mapping {mapping.size}"
             )
+        if batch_lines < 1:
+            raise AddressError(f"batch_lines must be >= 1: {batch_lines}")
+        self.batch_lines = batch_lines
+        self.batched = batched
         self._freed = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -44,10 +63,13 @@ class RemoteBuffer:
         size: int,
         policy: PagePolicy = PagePolicy.LOCAL,
         numa_nodes: Optional[Sequence[int]] = None,
+        batch_lines: int = DEFAULT_BATCH_LINES,
+        batched: bool = True,
     ) -> "RemoteBuffer":
         """mmap ``size`` bytes under ``policy`` on ``node``."""
         mapping = node.kernel.mmap(size, policy=policy, nodes=numa_nodes)
-        return cls(node, mapping, size=size)
+        return cls(node, mapping, size=size, batch_lines=batch_lines,
+                   batched=batched)
 
     def free(self) -> None:
         if not self._freed:
@@ -90,16 +112,74 @@ class RemoteBuffer:
                 f"{self.size} bytes"
             )
 
+    def _windows(self, address: int, chunk: int):
+        """Split one page segment into (address, size, is_run) pieces.
+
+        ``is_run`` marks a cacheline-aligned run of whole lines (at most
+        ``batch_lines`` of them); other pieces are unaligned fragments.
+        """
+        line = CACHELINE_BYTES
+        head = min(chunk, (-address) % line)
+        if head:
+            yield address, head, False
+            address += head
+            chunk -= head
+        window_bytes = self.batch_lines * line
+        while chunk >= line:
+            size = min(chunk - chunk % line, window_bytes)
+            yield address, size, True
+            address += size
+            chunk -= size
+        if chunk:
+            yield address, chunk, False
+
     # -- timed access (simulation processes) -----------------------------------------
     def write_process(self, offset: int, data: bytes) -> Generator:
+        bus = self.node.bus
         for address, chunk in self._segments(offset, len(data)):
             piece, data = data[:chunk], data[chunk:]
-            yield self.node.bus.store(address, piece)
+            for start, size, is_run in self._windows(address, chunk):
+                part = piece[start - address : start - address + size]
+                if not is_run:
+                    yield bus.store(start, part)
+                elif self.batched:
+                    yield bus.store_burst(start, part)
+                else:
+                    pending = [
+                        bus.store(
+                            start + line * CACHELINE_BYTES,
+                            part[
+                                line * CACHELINE_BYTES :
+                                (line + 1) * CACHELINE_BYTES
+                            ],
+                        )
+                        for line in range(size // CACHELINE_BYTES)
+                    ]
+                    for waitable in pending:
+                        yield waitable
 
     def read_process(self, offset: int, size: int) -> Generator:
+        bus = self.node.bus
         parts: List[bytes] = []
         for address, chunk in self._segments(offset, size):
-            parts.append((yield self.node.bus.load(address, chunk)))
+            for start, span, is_run in self._windows(address, chunk):
+                if not is_run:
+                    parts.append((yield bus.load(start, span)))
+                elif self.batched:
+                    parts.append(
+                        (yield bus.load_burst(
+                            start, span // CACHELINE_BYTES
+                        ))
+                    )
+                else:
+                    pending = [
+                        bus.load(
+                            start + line * CACHELINE_BYTES, CACHELINE_BYTES
+                        )
+                        for line in range(span // CACHELINE_BYTES)
+                    ]
+                    for waitable in pending:
+                        parts.append((yield waitable))
         return b"".join(parts)
 
     # -- convenience (runs the simulator) -----------------------------------------------

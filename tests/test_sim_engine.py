@@ -272,7 +272,7 @@ class TestSignals:
         sim.process(waiter())
         sim.run(until=0.0)
         # The process has started and subscribed.
-        sim.step() if sim._queue else None
+        sim.step()  # no-op when nothing is pending
         assert signal.waiter_count <= 1
 
 
