@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.mem import CACHELINE_BYTES, MIB
+from repro.obs import RunSummary
 from repro.osmodel import PagePolicy
 from repro.testbed import Testbed
 
@@ -23,29 +24,43 @@ def main() -> None:
           "(control plane: plan path -> steal -> program RMMU -> hotplug)")
     attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
     plan = attachment.plan
-    print(f"  network id       : {attachment.flow.network_id}")
-    print(f"  sections         : {plan.section_indices}")
-    print(f"  CPU-less NUMA node: {plan.numa_node_id} "
-          f"(SLIT distance {plan.numa_distance})")
-
     window = testbed.remote_window_range(attachment)
-    print(f"  real-address window on node0: "
-          f"[{window.start:#x}, {window.end:#x})")
+
+    summary = RunSummary("attachment")
+    summary.section("control plane")
+    summary.row("network id", attachment.flow.network_id)
+    summary.row("sections", str(plan.section_indices))
+    summary.row(
+        "CPU-less NUMA node",
+        f"{plan.numa_node_id} (SLIT distance {plan.numa_distance})",
+    )
+    summary.row(
+        "window on node0", f"[{window.start:#x}, {window.end:#x})"
+    )
+    print(summary.render())
 
     print("\nStoring a cacheline on node0; reading it back...")
     payload = bytes(range(128))
     testbed.node0.run_store(window.start, payload)
     assert testbed.node0.run_load(window.start) == payload
-    print("  roundtrip OK — and the bytes physically live on node1:")
-    donor = testbed.node1.dram.read_now(attachment.grant.effective_base, 16)
-    print(f"  node1 DRAM[{attachment.grant.effective_base:#x}]: "
-          f"{donor.hex()}")
-
     for _ in range(16):
         testbed.node0.run_load(window.start)
     rtt = testbed.node0.device.compute.rtt
-    print(f"\nUnloaded remote-access RTT: {rtt.mean * 1e9:.0f} ns "
-          "(paper prototype: ~950 ns datapath + donor DRAM)")
+    donor = testbed.node1.dram.read_now(attachment.grant.effective_base, 16)
+
+    datapath = RunSummary("datapath")
+    datapath.section("remote access")
+    datapath.row("store + load back", "roundtrip OK")
+    datapath.row(
+        "bytes physically on node1",
+        f"DRAM[{attachment.grant.effective_base:#x}] = {donor.hex()}",
+    )
+    datapath.row(
+        "unloaded RTT",
+        f"{rtt.mean * 1e9:.0f} ns "
+        "(paper prototype: ~950 ns datapath + donor DRAM)",
+    )
+    print(datapath.render())
 
     print("\nThe kernel can also allocate from the new NUMA node:")
     mapping = testbed.node0.kernel.mmap(

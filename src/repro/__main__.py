@@ -1,4 +1,4 @@
-"""Command line: regenerate paper figures and run the quickstart demo.
+"""Command line: regenerate paper figures, run the demo, trace a workload.
 
 Usage::
 
@@ -6,11 +6,13 @@ Usage::
     python -m repro fig5               # one figure's series
     python -m repro all                # every figure
     python -m repro demo               # attach/detach walk-through
+    python -m repro trace stream       # traced run + Chrome-trace artifacts
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .figures import FIGURES, render
@@ -18,26 +20,188 @@ from .figures import FIGURES, render
 
 def _run_demo() -> None:
     from .mem import MIB
+    from .obs import MetricsRegistry, RunSummary, summary_from_snapshot
     from .testbed import Testbed
 
     testbed = Testbed()
     attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
     window = testbed.remote_window_range(attachment)
-    print(f"attached 4 MiB of node1 to node0 at "
-          f"[{window.start:#x}, {window.end:#x}) "
-          f"(NUMA node {attachment.plan.numa_node_id})")
     payload = bytes(range(128))
     testbed.node0.run_store(window.start, payload)
     assert testbed.node0.run_load(window.start) == payload
     for _ in range(16):
         testbed.node0.run_load(window.start)
     rtt = testbed.node0.device.compute.rtt.mean
-    print(f"remote load/store roundtrip OK; RTT {rtt * 1e9:.0f} ns")
     testbed.detach(attachment)
-    print("detached cleanly")
+
+    summary = RunSummary("repro demo — attach, store/load, detach")
+    summary.section("attachment")
+    summary.row("size", "4 MiB of node1 on node0")
+    summary.row(
+        "real-address window", f"[{window.start:#x}, {window.end:#x})"
+    )
+    summary.row("NUMA node", attachment.plan.numa_node_id)
+    summary.section("datapath")
+    summary.row("remote load/store", "roundtrip OK")
+    summary.row("unloaded RTT", rtt * 1e9, "ns")
+    summary.section("control plane")
+    summary.row("teardown", "detached cleanly")
+    print(summary.render())
+
+    registry = MetricsRegistry()
+    testbed.register_observability(registry)
+    print()
+    print(
+        summary_from_snapshot(
+            "end-of-run metrics",
+            registry.snapshot(),
+            prefixes=["bus", "endpoint", "llc", "dram"],
+        ).render()
+    )
+
+
+# -- traced workloads ------------------------------------------------------------
+
+
+def _trace_stream(nbytes: int):
+    """STREAM-style bulk transfer: burst write + read-back over the wire."""
+    from .mem import MIB
+    from .osmodel import PagePolicy
+    from .testbed import RemoteBuffer, Testbed
+
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    buffer = RemoteBuffer.allocate(
+        testbed.node0,
+        nbytes,
+        policy=PagePolicy.BIND,
+        numa_nodes=[attachment.plan.numa_node_id],
+        batched=True,
+    )
+    blob = bytes(range(256)) * (nbytes // 256)
+    buffer.write(0, blob)
+    assert buffer.read(0, nbytes) == blob
+    buffer.free()
+    return testbed
+
+
+def _trace_pingpong(nbytes: int):
+    """Per-cacheline load/store roundtrips (latency-bound)."""
+    from .mem import MIB
+    from .testbed import Testbed
+
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    window = testbed.remote_window_range(attachment)
+    payload = bytes(range(128))
+    rounds = max(1, min(nbytes // 128, 64))
+    for index in range(rounds):
+        testbed.node0.run_store(window.start + index * 128, payload)
+        testbed.node0.run_load(window.start + index * 128)
+    return testbed
+
+
+def _trace_fault(nbytes: int):
+    """Forced frame drops on channel 0 exercising the LLC replay path."""
+    from .mem import MIB
+    from .net.faults import FaultInjector
+    from .testbed import Testbed
+
+    injector = FaultInjector()
+    testbed = Testbed(fault_injectors={0: injector})
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    window = testbed.remote_window_range(attachment)
+    payload = bytes(range(128))
+    testbed.node0.run_store(window.start, payload)
+    injector.force_drop_next(2)
+    rounds = max(4, min(nbytes // 128, 32))
+    for _ in range(rounds):
+        testbed.node0.run_load(window.start)
+    return testbed
+
+
+_TRACE_WORKLOADS = {
+    "stream": _trace_stream,
+    "pingpong": _trace_pingpong,
+    "fault": _trace_fault,
+}
+
+
+def _run_trace(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one workload with end-to-end tracing enabled and write "
+            "the Chrome-trace JSON (Perfetto/chrome://tracing), the "
+            "metrics snapshot JSON and a terminal summary."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(_TRACE_WORKLOADS), help="workload to trace"
+    )
+    parser.add_argument(
+        "--bytes",
+        type=int,
+        default=128 * 1024,
+        dest="nbytes",
+        help="workload size in bytes (rounded down to 256 B, min 256)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="trace 1 in N transactions (default: every transaction)",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace-artifacts",
+        help="output directory for the exported artifacts",
+    )
+    args = parser.parse_args(argv)
+    nbytes = max(256, args.nbytes - args.nbytes % 256)
+
+    from .obs import (
+        MetricsRegistry,
+        disable_tracing,
+        enable_tracing,
+        render_metrics_summary,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    os.makedirs(args.out, exist_ok=True)
+    tracer = enable_tracing(sample_every=args.sample)
+    try:
+        testbed = _TRACE_WORKLOADS[args.workload](nbytes)
+    finally:
+        disable_tracing()
+    registry = MetricsRegistry()
+    testbed.register_observability(registry)
+
+    trace_path = os.path.join(args.out, f"trace-{args.workload}.json")
+    metrics_path = os.path.join(args.out, f"metrics-{args.workload}.json")
+    write_chrome_trace(tracer, trace_path)
+    write_metrics_json(registry, metrics_path)
+    print(render_metrics_summary(registry, f"repro trace {args.workload}"))
+    print()
+    completed = len(tracer.completed())
+    print(
+        f"traced {len(tracer.transactions)} transactions "
+        f"({completed} completed end-to-end, 1-in-{tracer.sample_every} "
+        f"sampling)"
+    )
+    print(f"chrome trace : {trace_path}")
+    print(f"metrics json : {metrics_path}")
+    return 0
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The trace subcommand has its own options; dispatch before the
+    # single-positional legacy parser sees (and rejects) them.
+    if argv and argv[0] == "trace":
+        return _run_trace(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -47,8 +211,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(FIGURES) + ["all", "list", "demo"],
-        help="figure id, 'all', 'list', or 'demo'",
+        choices=sorted(FIGURES) + ["all", "list", "demo", "trace"],
+        help="figure id, 'all', 'list', 'demo', or 'trace <workload>'",
     )
     args = parser.parse_args(argv)
 
@@ -59,6 +223,9 @@ def main(argv=None) -> int:
     if args.target == "demo":
         _run_demo()
         return 0
+    if args.target == "trace":
+        # `trace` with no workload: show the subcommand's usage/help.
+        return _run_trace(["--help"])
     targets = sorted(FIGURES) if args.target == "all" else [args.target]
     for name in targets:
         print(render(FIGURES[name]()))

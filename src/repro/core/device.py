@@ -183,6 +183,17 @@ class ThymesisFlowDevice:
         self.mmio.write_named("ROUTE_NETWORK_ID", network_id)
         self.mmio.write_named("ROUTE_CTRL", 0)
 
+    # -- observability ------------------------------------------------------------------
+    def register_metrics(self, registry, **labels) -> None:
+        """Register every sub-component of this card into ``registry``."""
+        self.rmmu.register_metrics(registry, **labels)
+        self.routing.register_metrics(registry, **labels)
+        self.compute.register_metrics(registry, **labels)
+        if self.memory is not None:
+            self.memory.register_metrics(registry, **labels)
+        for llc in self.llcs:
+            llc.register_metrics(registry, **labels)
+
     # -- internals ----------------------------------------------------------------------
     def _define_route_mmio(self) -> None:
         state = {"network_id": 0, "mask": 0}

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional
 
 from ..mem.address import AddressRange, CACHELINE_BYTES
+from ..obs import trace as _trace
 from ..opencapi.ports import OpenCapiC1Port
 from ..opencapi.transactions import MemTransaction, ResponseCode, TLCommand
 from ..sim.engine import Process, Signal, Simulator
@@ -106,6 +107,10 @@ class ComputeEndpoint:
             cached = self.hbm.lookup(internal_address, txn.size)
             if cached is not None:
                 self.hbm_hits += 1
+                if _trace.ENABLED:
+                    _trace.txn_mark(
+                        self.sim.now, txn.base_txn_id, "hbm.hit", self.name
+                    )
                 yield self.hbm.config.hit_latency_s
                 self.rtt.add(self.sim.now - started)
                 return txn.make_response(data=cached)
@@ -116,6 +121,10 @@ class ComputeEndpoint:
         except RmmuFault:
             self.fault_responses += txn.burst
             return txn.make_response(code=ResponseCode.ADDRESS_ERROR)
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                self.sim.now, txn.base_txn_id, "rmmu.translate", self.rmmu.name
+            )
         outbound = txn.with_address(remote_address)
         outbound.network_id = network_id
         done = Signal(name=f"{self.name}.txn{outbound.txn_id}", oneshot=True)
@@ -155,6 +164,28 @@ class ComputeEndpoint:
             elif txn.command.name == "WRITE_MEM" and txn.data is not None:
                 self.hbm.write_through(internal_address, txn.data)
         return response
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: request mix, HBM hits, faults, RTT stats."""
+
+        def collect(reg):
+            base = dict(endpoint=self.name, **labels)
+            reg.gauge("endpoint.requests", **base).set(self.requests)
+            reg.gauge("endpoint.hbm_hits", **base).set(self.hbm_hits)
+            reg.gauge("endpoint.fault_responses", **base).set(
+                self.fault_responses
+            )
+            reg.gauge("endpoint.timeouts", **base).set(self.timeouts)
+            reg.gauge("endpoint.outstanding", **base).set(
+                len(self._outstanding)
+            )
+            if self.rtt.count:
+                reg.gauge("endpoint.rtt_mean_s", **base).set(self.rtt.mean)
+                reg.gauge("endpoint.rtt_p99_s", **base).set(
+                    self.rtt.percentile(99)
+                )
+
+        registry.add_collector(collect)
 
     def _expire(self, txn_id: int) -> None:
         pending = self._outstanding.pop(txn_id, None)
@@ -240,6 +271,16 @@ class MemoryStealingEndpoint:
         self.pasid: Optional[int] = None
         self.served = 0
         self.denied = 0
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: served/denied request counts."""
+
+        def collect(reg):
+            base = dict(endpoint=self.name, **labels)
+            reg.gauge("endpoint.served", **base).set(self.served)
+            reg.gauge("endpoint.denied", **base).set(self.denied)
+
+        registry.add_collector(collect)
 
     def set_pasid(self, pasid: int) -> None:
         """Register the memory-stealing process's address space id."""

@@ -28,6 +28,7 @@ from typing import Dict, Generator, List, Optional
 
 from ..net.crc import crc32, frame_digest_bytes
 from ..net.link import ChannelEndpointView
+from ..obs import trace as _trace
 from ..opencapi.ports import FPGA_STACK_CROSSING_S
 from ..opencapi.transactions import (
     FLIT_BYTES,
@@ -201,7 +202,15 @@ class LlcEndpoint:
         return self.sim.process(self._submit(txn), name=f"{self.name}.submit")
 
     def _submit(self, txn: MemTransaction) -> Generator:
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                self.sim.now, txn.base_txn_id, "llc.credit_wait", self.name
+            )
         yield self._credits.consume(txn.burst)
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                self.sim.now, txn.base_txn_id, "llc.submit", self.name
+            )
         yield self._tx_queue.put(txn)
 
     def try_submit(self, txn: MemTransaction) -> bool:
@@ -230,8 +239,36 @@ class LlcEndpoint:
         return self._credits.credits
 
     @property
+    def credit_stalls(self) -> int:
+        """Times a submit had to wait for the peer to free a slot."""
+        return self._credits.stall_count
+
+    @property
     def retention_depth(self) -> int:
         return len(self._retention)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: frame/replay/credit counters for this side."""
+
+        def collect(reg):
+            base = dict(llc=self.name, **labels)
+            gauge = lambda metric, value: reg.gauge(metric, **base).set(value)
+            gauge("llc.frames_built", self.frames_built)
+            gauge("llc.control_frames", self.control_frames)
+            gauge("llc.replays_requested", self.replays_requested)
+            gauge("llc.replays_served", self.replays_served)
+            gauge("llc.frames_out_of_order", self.frames_out_of_order)
+            gauge("llc.frames_corrupted", self.frames_corrupted)
+            gauge("llc.frames_duplicate", self.frames_duplicate)
+            gauge("llc.nops_padded", self.nops_padded)
+            gauge("llc.txns_sent", self.txns_sent)
+            gauge("llc.txns_received", self.txns_received)
+            gauge("llc.timeout_recoveries", self.timeout_recoveries)
+            gauge("llc.credit_stalls", self.credit_stalls)
+            gauge("llc.credits_available", self._credits.credits)
+            gauge("llc.retention_depth", len(self._retention))
+
+        registry.add_collector(collect)
 
     def reset_link(self) -> None:
         """Link bring-up: resynchronize frame identifiers (§IV-A4).
@@ -347,6 +384,13 @@ class LlcEndpoint:
         self._next_frame_id += 1
         self.frames_built += 1
         self.txns_sent += sum(t.burst for t in transactions)
+        if _trace.ENABLED:
+            now = self.sim.now
+            for txn in transactions:
+                if txn.command is not TLCommand.NOP:
+                    _trace.txn_mark(
+                        now, txn.base_txn_id, "llc.frame", self.name
+                    )
         return frame
 
     def _transmit(self, frame: Frame) -> None:
@@ -448,6 +492,13 @@ class LlcEndpoint:
     def _process_frame(self, frame: Frame, corrupted: bool) -> None:
         if corrupted or not frame.crc_ok():
             self.frames_corrupted += 1
+            if _trace.ENABLED:
+                _trace.instant(
+                    "llc.frame_corrupted",
+                    self.sim.now,
+                    self.name,
+                    frame_id=frame.frame_id,
+                )
             if not frame.is_control:
                 self._request_replay()
             return
@@ -478,6 +529,10 @@ class LlcEndpoint:
                     f"{self.name}: ingress overflow — peer violated credits"
                 )
             self.txns_received += txn.burst
+            if _trace.ENABLED:
+                _trace.txn_mark(
+                    self.sim.now, txn.base_txn_id, "llc.deliver", self.name
+                )
         # Deliver an ack opportunistically with the next outbound frame;
         # if the tx side stays idle the control flush will carry it.
         self._arm_control_flush()
@@ -497,6 +552,13 @@ class LlcEndpoint:
             return
         self._replay_requested_for = self._expected_id
         self.replays_requested += 1
+        if _trace.ENABLED:
+            _trace.instant(
+                "llc.replay_request",
+                self.sim.now,
+                self.name,
+                expected=self._expected_id,
+            )
         self._send_control(replay_from=self._expected_id)
 
     # -- control frames -----------------------------------------------------------------

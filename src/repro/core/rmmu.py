@@ -76,6 +76,17 @@ class Rmmu:
         self.translations = 0
         self.faults = 0
 
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: translations, faults, installed sections."""
+
+        def collect(reg):
+            base = dict(rmmu=self.name, **labels)
+            reg.gauge("rmmu.translations", **base).set(self.translations)
+            reg.gauge("rmmu.faults", **base).set(self.faults)
+            reg.gauge("rmmu.sections_installed", **base).set(len(self._table))
+
+        registry.add_collector(collect)
+
     # -- configuration (driven by the user-space agent over MMIO) -----------------
     def install(
         self, section_index: int, donor_effective_base: int, network_id: int

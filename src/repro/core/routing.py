@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from ..obs import trace as _trace
 from ..opencapi.transactions import MemTransaction, split_burst
 from ..sim.engine import Simulator
 from .flow import base_network_id, is_bonded_wire_id
@@ -138,6 +139,10 @@ class RoutingLayer:
         """Waitable forward of a request toward its remote endpoint."""
         if txn.network_id is None:
             raise RoutingError(f"{self.name}: transaction has no network id")
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                self.sim.now, txn.base_txn_id, "routing.forward", self.name
+            )
         channels = self.route_for(txn.network_id)
         if (
             txn.burst > 1
@@ -172,10 +177,33 @@ class RoutingLayer:
             raise RoutingError(
                 f"{self.name}: response without arrival channel"
             )
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                self.sim.now,
+                response.base_txn_id,
+                "routing.response",
+                self.name,
+            )
         self.responses_returned += response.burst
         index = response.arrival_channel
         self.per_channel_tx[index] += response.burst
         return self.channel(index).submit(response)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: forwarded counts and per-channel distribution."""
+
+        def collect(reg):
+            base = dict(routing=self.name, **labels)
+            reg.gauge("routing.forwarded", **base).set(self.forwarded)
+            reg.gauge("routing.responses_returned", **base).set(
+                self.responses_returned
+            )
+            for index, count in enumerate(self.per_channel_tx):
+                reg.gauge(
+                    "routing.channel_tx", channel=str(index), **base
+                ).set(count)
+
+        registry.add_collector(collect)
 
     # -- ingress --------------------------------------------------------------------
     def _drain(self, llc: LlcEndpoint, index: int) -> Generator:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..obs import trace as _trace
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
 from ..sim.stats import RunningStats
@@ -71,10 +72,34 @@ class DramDevice:
         self.write_latency = RunningStats(f"{name}.write_latency")
         self.reads = 0
         self.writes = 0
+        #: Highest concurrent bank occupancy seen (tracked only while
+        #: tracing is enabled; stays 0 on the untraced fast path).
+        self.peak_banks_in_use = 0
 
     @property
     def window(self) -> AddressRange:
         return self.backing.window
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: access counts, latency, bank occupancy."""
+
+        def collect(reg):
+            base = dict(device=self.name, **labels)
+            reg.gauge("dram.reads", **base).set(self.reads)
+            reg.gauge("dram.writes", **base).set(self.writes)
+            reg.gauge("dram.banks_in_use", **base).set(self._banks.in_use)
+            reg.gauge("dram.banks_peak", **base).set(self.peak_banks_in_use)
+            reg.gauge("dram.banks_total", **base).set(self.timing.banks)
+            if self.read_latency.count:
+                reg.gauge("dram.read_latency_mean_s", **base).set(
+                    self.read_latency.mean
+                )
+            if self.write_latency.count:
+                reg.gauge("dram.write_latency_mean_s", **base).set(
+                    self.write_latency.mean
+                )
+
+        registry.add_collector(collect)
 
     # -- timed access -----------------------------------------------------------
     def read(self, address: int, size: int = CACHELINE_BYTES):
@@ -120,6 +145,8 @@ class DramDevice:
     ) -> Generator:
         start = self.sim.now
         yield self._banks.acquire()
+        if _trace.ENABLED and self._banks.in_use > self.peak_banks_in_use:
+            self.peak_banks_in_use = self._banks.in_use
         try:
             service = self.timing.access_latency_s + self.timing.transfer_time(size)
             yield service
@@ -146,6 +173,8 @@ class DramDevice:
         size = lines * CACHELINE_BYTES
         slots = min(lines, self.timing.banks)
         yield self._banks.acquire(slots)
+        if _trace.ENABLED and self._banks.in_use > self.peak_banks_in_use:
+            self.peak_banks_in_use = self._banks.in_use
         try:
             # Lines proceed in parallel across banks, so the burst's
             # service time is one per-line interval, not the sum.

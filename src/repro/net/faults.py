@@ -54,6 +54,10 @@ class FaultInjector:
         self.frames_seen = 0
         self.frames_dropped = 0
         self.frames_corrupted = 0
+        #: Forced faults actually applied to a frame (as opposed to the
+        #: pending ``force_*_next`` counts still waiting for traffic).
+        self.forced_drops_applied = 0
+        self.forced_corruptions_applied = 0
 
     def force_drop_next(self, count: int = 1) -> None:
         self._forced_drops += count
@@ -66,10 +70,12 @@ class FaultInjector:
         self.frames_seen += 1
         if self._forced_drops > 0:
             self._forced_drops -= 1
+            self.forced_drops_applied += 1
             self.frames_dropped += 1
             return FaultDecision(drop=True)
         if self._forced_corruptions > 0:
             self._forced_corruptions -= 1
+            self.forced_corruptions_applied += 1
             self.frames_corrupted += 1
             return FaultDecision(corrupt=True)
         if self.drop_probability and self.rng.bernoulli(self.drop_probability):
@@ -85,3 +91,29 @@ class FaultInjector:
     @property
     def fault_count(self) -> int:
         return self.frames_dropped + self.frames_corrupted
+
+    def breakdown(self) -> dict:
+        """Per-kind fault accounting: forced vs. random, by outcome."""
+        return {
+            "frames_seen": self.frames_seen,
+            "frames_dropped": self.frames_dropped,
+            "frames_corrupted": self.frames_corrupted,
+            "forced_drops": self.forced_drops_applied,
+            "forced_corruptions": self.forced_corruptions_applied,
+            "random_drops": self.frames_dropped - self.forced_drops_applied,
+            "random_corruptions": (
+                self.frames_corrupted - self.forced_corruptions_applied
+            ),
+            "fault_count": self.fault_count,
+        }
+
+    def collect_into(self, registry, **labels) -> None:
+        """Copy the breakdown into ``net.faults.*`` registry gauges."""
+        for key, value in self.breakdown().items():
+            registry.gauge(f"net.faults.{key}", **labels).set(value)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector for an injector used outside a SerialLink."""
+        registry.add_collector(
+            lambda reg: self.collect_into(reg, **labels)
+        )

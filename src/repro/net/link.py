@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..obs import trace as _trace
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 from ..sim.stats import RunningStats
@@ -156,20 +157,38 @@ class SerialLink:
             while entry is not None:
                 payload, size_bytes, enqueued_at, pre_corrupted = entry
                 self.queue_delay.add(wire_free - enqueued_at)
+                ser_start = wire_free
                 wire_free = wire_free + self.config.serialization_time(
                     size_bytes
                 )
+                if _trace.ENABLED:
+                    _trace.span(
+                        "link.serialize",
+                        ser_start,
+                        wire_free,
+                        self.name,
+                        bytes=size_bytes,
+                    )
                 decision = self.faults.decide() if self.faults else None
                 if not (decision is not None and decision.drop):
                     corrupted = pre_corrupted or bool(
                         decision is not None and decision.corrupt
                     )
+                    if corrupted and _trace.ENABLED:
+                        _trace.instant(
+                            "link.corrupt", ser_start, self.name,
+                            bytes=size_bytes,
+                        )
                     self.sim.schedule_at(
                         wire_free + self.config.flight_latency_s,
                         self._deliver,
                         payload,
                         size_bytes,
                         corrupted,
+                    )
+                elif _trace.ENABLED:
+                    _trace.instant(
+                        "link.drop", ser_start, self.name, bytes=size_bytes
                     )
                 entry = self._tx_queue.try_get()
             self._busy_until = wire_free
@@ -189,6 +208,29 @@ class SerialLink:
         if window_s <= 0:
             return 0.0
         return (self.bytes_delivered * 8 / self.config.payload_bits_per_s) / window_s
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Pull collector: traffic volume, queueing, live utilization."""
+
+        def collect(reg):
+            base = dict(link=self.name, **labels)
+            reg.gauge("link.bytes_sent", **base).set(self.bytes_sent)
+            reg.gauge("link.bytes_delivered", **base).set(self.bytes_delivered)
+            reg.gauge("link.frames_sent", **base).set(self.frames_sent)
+            reg.gauge("link.frames_delivered", **base).set(
+                self.frames_delivered
+            )
+            if self.queue_delay.count:
+                reg.gauge("link.queue_delay_mean_s", **base).set(
+                    self.queue_delay.mean
+                )
+            reg.gauge("link.utilization", **base).set(
+                self.utilization(self.sim.now)
+            )
+            if self.faults is not None:
+                self.faults.collect_into(reg, link=self.name, **labels)
+
+        registry.add_collector(collect)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

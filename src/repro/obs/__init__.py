@@ -1,0 +1,69 @@
+"""repro.obs — end-to-end observability for the simulated stack.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — a span-based transaction tracer. Every
+  instrumented component marks the stage boundaries a transaction
+  crosses (bus issue, RMMU translate, routing, LLC framing, wire,
+  DRAM service, completion); the tracer derives contiguous per-layer
+  spans from those marks, so one transaction's child spans tile its
+  end-to-end latency exactly.
+* :mod:`repro.obs.metrics` — a hierarchical registry of counters,
+  gauges and histograms with label sets. Components expose their
+  counters through ``register_metrics`` hooks; the registry pulls them
+  at snapshot time, so the hot path pays nothing.
+* :mod:`repro.obs.export` — exporters: Chrome ``trace_event`` JSON
+  (loadable in Perfetto / chrome://tracing), a flat metrics snapshot
+  dict/JSON, and a human-readable end-of-run summary table built on
+  :mod:`repro.obs.summary`.
+
+Instrumentation is **off by default**: every call site is guarded by
+the module-level :data:`repro.obs.trace.ENABLED` flag, checked before
+any allocation, so the fast-path wins of the simulation kernel are
+preserved when observability is not requested. When on, 1-in-N
+transaction sampling (``sample_every``) bounds tracing volume further.
+
+This package deliberately imports nothing from the rest of ``repro``
+(stdlib only): the simulation kernel itself hooks into it, and a
+dependency back into :mod:`repro.sim` would be circular.
+"""
+
+from .trace import (
+    ENABLED,
+    Tracer,
+    TxnRecord,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+)
+from .metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from .summary import RunSummary, summary_from_snapshot
+from .export import (
+    chrome_trace,
+    render_metrics_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+__all__ = [
+    "ENABLED",
+    "Tracer",
+    "TxnRecord",
+    "active_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "RunSummary",
+    "summary_from_snapshot",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_json",
+    "render_metrics_summary",
+]

@@ -13,6 +13,7 @@ from typing import Generator, List, Optional, Protocol, Tuple
 
 from ..mem.address import AddressError, AddressRange, CACHELINE_BYTES
 from ..mem.dram import DramDevice
+from ..obs import trace as _trace
 from ..sim.engine import Process, Simulator
 from .transactions import MemTransaction, ResponseCode, TLCommand
 
@@ -47,6 +48,19 @@ class DramBusTarget:
         return sim.process(self._serve(txn), name="dram.handle")
 
     def _serve(self, txn: MemTransaction) -> Generator:
+        sim = self.dram.sim
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                sim.now, txn.base_txn_id, "dram.service", self.dram.name
+            )
+        response = yield from self._service(txn)
+        if _trace.ENABLED:
+            _trace.txn_mark(
+                sim.now, txn.base_txn_id, "dram.done", self.dram.name
+            )
+        return response
+
+    def _service(self, txn: MemTransaction) -> Generator:
         if txn.command == TLCommand.RD_MEM:
             if txn.burst > 1:
                 data = yield self.dram.read_burst(txn.address, txn.burst)
@@ -121,8 +135,16 @@ class SystemBus:
         txn.issued_at = self.sim.now
         if txn.command == TLCommand.RD_MEM:
             self.loads += txn.burst
+            if _trace.ENABLED:
+                _trace.txn_begin(
+                    self.sim.now, txn.base_txn_id, "load", txn.size, self.name
+                )
         elif txn.command == TLCommand.WRITE_MEM:
             self.stores += txn.burst
+            if _trace.ENABLED:
+                _trace.txn_begin(
+                    self.sim.now, txn.base_txn_id, "store", txn.size, self.name
+                )
         return target.handle(txn)
 
     def load(self, address: int, size: int = CACHELINE_BYTES) -> Process:
@@ -155,8 +177,19 @@ class SystemBus:
             name=f"{self.name}.store",
         )
 
+    def register_metrics(self, registry, **labels) -> None:
+        """Expose the per-node load/store mix through a pull collector."""
+
+        def collect(reg):
+            reg.gauge("bus.loads", bus=self.name, **labels).set(self.loads)
+            reg.gauge("bus.stores", bus=self.name, **labels).set(self.stores)
+
+        registry.add_collector(collect)
+
     def _issue_burst(self, txn: MemTransaction) -> Generator:
         response = yield self.issue(txn)
+        if _trace.ENABLED:
+            _trace.txn_end(self.sim.now, txn.base_txn_id, self.name)
         if response.response_code is not ResponseCode.OK:
             raise BusError(
                 f"{self.name}: burst {txn.command.name} {txn.address:#x} "
@@ -167,7 +200,10 @@ class SystemBus:
         return response.response_code
 
     def _load(self, address: int, size: int) -> Generator:
-        response = yield self.issue(MemTransaction.read(address, size))
+        txn = MemTransaction.read(address, size)
+        response = yield self.issue(txn)
+        if _trace.ENABLED:
+            _trace.txn_end(self.sim.now, txn.base_txn_id, self.name)
         if response.response_code is not ResponseCode.OK:
             raise BusError(
                 f"{self.name}: load {address:#x} failed: "
@@ -176,7 +212,10 @@ class SystemBus:
         return response.data
 
     def _store(self, address: int, data: bytes) -> Generator:
-        response = yield self.issue(MemTransaction.write(address, data))
+        txn = MemTransaction.write(address, data)
+        response = yield self.issue(txn)
+        if _trace.ENABLED:
+            _trace.txn_end(self.sim.now, txn.base_txn_id, self.name)
         if response.response_code is not ResponseCode.OK:
             raise BusError(
                 f"{self.name}: store {address:#x} failed: "

@@ -122,6 +122,16 @@ class MemTransaction:
 
     # -- classification ---------------------------------------------------------
     @property
+    def base_txn_id(self) -> int:
+        """Id of the burst this (possibly split) transaction came from.
+
+        Split views and their responses keep per-line ids; the tracer
+        keys every mark on this base id so all segments of one burst
+        land on one record.
+        """
+        return self.txn_id - self.burst_offset
+
+    @property
     def is_request(self) -> bool:
         return self.command in (TLCommand.RD_MEM, TLCommand.WRITE_MEM)
 

@@ -52,6 +52,8 @@ from operator import itemgetter
 from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
+from ..obs import trace as _obs_trace
+
 __all__ = [
     "Simulator",
     "Process",
@@ -479,6 +481,10 @@ class Simulator:
         loop.  This is the hottest code in the repository; keep it
         boring.
         """
+        # Observability hooks live at entry/exit only — the dispatch loop
+        # below stays branch-free with respect to tracing.
+        trace_start = self._now if _obs_trace.ENABLED else None
+        events_before = self.event_count
         times = self._times
         buckets = self._buckets
         dirty = self._dirty
@@ -701,6 +707,14 @@ class Simulator:
             self.event_count += events
         if until is not None and self._now < until and not times:
             self._now = until
+        if trace_start is not None and _obs_trace.ENABLED:
+            _obs_trace.span(
+                "sim.run",
+                trace_start,
+                self._now,
+                "sim",
+                events=self.event_count - events_before,
+            )
         return self._now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

@@ -154,6 +154,31 @@ class Histogram:
             return [0.0] * self.bins
         return [c / total for c in self.counts]
 
+    def render(self, width: int = 40) -> str:
+        """ASCII bar rendering, one line per bin.
+
+        Empty bins render a bar of zero characters (never a division by
+        zero); a histogram with no samples at all renders every bin that
+        way, plus the under/overflow tallies.
+        """
+        peak = max(self.counts) if self.counts else 0
+        lines = []
+        if self.name:
+            lines.append(f"{self.name} (n={self.total})")
+        for index, count in enumerate(self.counts):
+            low_edge = self.low + index * self._width
+            high_edge = low_edge + self._width
+            bar = "#" * (round(count / peak * width) if peak else 0)
+            lines.append(
+                f"[{low_edge:>12.6g}, {high_edge:>12.6g})"
+                f" {count:>8} {bar}"
+            )
+        if self.underflow:
+            lines.append(f"{'underflow':>27} {self.underflow:>8}")
+        if self.overflow:
+            lines.append(f"{'overflow':>27} {self.overflow:>8}")
+        return "\n".join(lines)
+
 
 class LatencyRecorder:
     """Stores every sample; provides mean / percentiles / CDF.

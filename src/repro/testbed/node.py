@@ -174,6 +174,15 @@ class Ac922Node:
 
         self.sim.run_process(copier())
 
+    # -- observability -----------------------------------------------------------------
+    def register_observability(self, registry) -> None:
+        """Register this node's whole stack, labelled by hostname."""
+        node = self.hostname
+        self.bus.register_metrics(registry, node=node)
+        self.dram.register_metrics(registry, node=node)
+        if self.device is not None:
+            self.device.register_metrics(registry, node=node)
+
     # -- functional memory access (timed) --------------------------------------------
     def load(self, address: int, size: int = 128):
         """Timed load on this node's bus (simulation process)."""

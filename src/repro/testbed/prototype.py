@@ -94,6 +94,15 @@ class Testbed:
             self.plane.add_cable("node0", index, "node1", index)
         self.admin_token = self.plane.acl.issue_token(Role.ADMIN)
 
+    # -- observability -------------------------------------------------------------------
+    def register_observability(self, registry) -> None:
+        """Register every node and channel of the prototype."""
+        for node in self.nodes:
+            node.register_observability(registry)
+        for channel in self.channels:
+            channel.a_to_b.register_metrics(registry, direction="ab")
+            channel.b_to_a.register_metrics(registry, direction="ba")
+
     # -- conveniences --------------------------------------------------------------------
     def node(self, hostname: str) -> Ac922Node:
         for node in self.nodes:

@@ -197,3 +197,60 @@ class TestTimeWeightedValue:
     def test_zero_span_returns_current(self):
         meter = TimeWeightedValue(3.0, initial=7.0)
         assert meter.time_average(3.0) == 7.0
+
+
+class TestEdgeCases:
+    """Boundary behaviour the summary/exporter paths rely on."""
+
+    def test_percentile_q0_and_q100_single_element(self):
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 100) == 42.0
+
+    def test_percentile_q0_q100_are_min_max(self):
+        values = sorted([3.0, -1.0, 7.5, 0.0, 2.0])
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    def test_percentile_boundary_qs_accepted(self):
+        # 0 and 100 are inclusive endpoints, not out-of-range.
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 100.0) == 2.0
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.001)
+
+    def test_histogram_render_with_no_samples(self):
+        hist = Histogram(0.0, 10.0, bins=4, name="empty")
+        text = hist.render()
+        assert "empty (n=0)" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 bins, no under/overflow rows
+        for line in lines[1:]:
+            assert line.rstrip().endswith("0")  # zero count, zero-width bar
+            assert "#" not in line
+
+    def test_histogram_render_empty_buckets_between_full_ones(self):
+        hist = Histogram(0.0, 4.0, bins=4)
+        hist.add(0.5)
+        hist.add(3.5)
+        lines = hist.render(width=10).splitlines()
+        assert len(lines) == 4
+        assert "#" in lines[0] and "#" in lines[3]
+        assert "#" not in lines[1] and "#" not in lines[2]
+
+    def test_histogram_render_shows_overflow_tallies(self):
+        hist = Histogram(0.0, 1.0, bins=2)
+        hist.add(-1.0)
+        hist.add(5.0)
+        text = hist.render()
+        assert "underflow" in text
+        assert "overflow" in text
+
+    def test_latency_recorder_zero_samples(self):
+        recorder = LatencyRecorder("idle")
+        assert recorder.count == 0
+        assert recorder.mean == 0.0
+        assert recorder.cdf() == []
+        assert recorder.fraction_below(1.0) == 0.0
+        assert recorder.degradation_at(99) == 0.0
+        with pytest.raises(ValueError):
+            recorder.percentile(50)
