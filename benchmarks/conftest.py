@@ -4,6 +4,14 @@ Every benchmark prints the series the paper's figure plots (so running
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the numbers) and
 asserts the qualitative *shape* claims — who wins, by roughly what
 factor — rather than exact values.
+
+The figure drivers submit their compute through the sweep engine (see
+:func:`sweep_payload`): each driver exposes a ``compute_payload``
+function returning a JSON-serializable payload, and the engine fronts
+it with the content-addressed result cache, so re-running the
+benchmark suite against unchanged code replays instantly. Control it
+with ``SWEEP_JOBS=N`` (worker processes) and ``SWEEP_NO_CACHE=1``
+(force recomputation).
 """
 
 from __future__ import annotations
@@ -37,6 +45,30 @@ def print_table(title: str, headers: Sequence[str],
     print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def sweep_payload(test_file: str, function: str = "compute_payload",
+                  **kwargs) -> Dict:
+    """Submit one benchmark's compute function through the sweep engine.
+
+    ``test_file`` is the calling module's ``__file__``; its basename
+    becomes the ``py:<module>:<function>`` target (the module is
+    already imported by pytest) and its contents join the cache
+    fingerprint, so editing either the simulation stack or the
+    benchmark itself invalidates the cached payload.
+    """
+    from repro.sweep import SweepEngine, make_spec
+
+    module = os.path.splitext(os.path.basename(test_file))[0]
+    spec = make_spec(
+        f"py:{module}:{function}", extra_files=[test_file], **kwargs
+    )
+    engine = SweepEngine(
+        jobs=os.environ.get("SWEEP_JOBS", "1"),
+        cache=os.environ.get("SWEEP_NO_CACHE", "") in ("", "0"),
+    )
+    [outcome] = engine.run([spec])
+    return outcome.value
 
 
 @pytest.fixture()

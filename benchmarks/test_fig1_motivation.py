@@ -17,45 +17,56 @@ paper's *shape*: disaggregation cuts both fragmentation indices by ≈3–4×
 and frees an order of magnitude more memory modules for power-off.
 """
 
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.cluster import run_fig1_experiment, scaled_trace_config
 
 UNITS = 400
 
 
-def run_experiment():
-    return run_fig1_experiment(scaled_trace_config(units=UNITS), units=UNITS)
+def compute_payload(units=UNITS):
+    """Sweep target: utilization report for both datacentre models."""
+    reports = run_fig1_experiment(scaled_trace_config(units=units),
+                                  units=units)
+    payload = {"units": units}
+    for name, report in reports.items():
+        payload[name] = {
+            "cpu_fragmentation_pct": report.cpu_fragmentation_pct,
+            "memory_fragmentation_pct": report.memory_fragmentation_pct,
+            "compute_off_pct": report.compute_off_pct,
+            "memory_off_pct": report.memory_off_pct,
+        }
+    return payload
 
 
 def test_fig1_motivation(once):
-    reports = once(run_experiment)
-    fixed = reports["fixed"]
-    disagg = reports["disaggregated"]
+    payload = once(sweep_payload, __file__, units=UNITS)
+    fixed = payload["fixed"]
+    disagg = payload["disaggregated"]
 
     rows = [
         (
             "Fragmentation CPU %",
-            f"{fixed.cpu_fragmentation_pct:.2f}",
-            f"{disagg.cpu_fragmentation_pct:.2f}",
+            f"{fixed['cpu_fragmentation_pct']:.2f}",
+            f"{disagg['cpu_fragmentation_pct']:.2f}",
             "16.0 / 3.86",
         ),
         (
             "Fragmentation MEM %",
-            f"{fixed.memory_fragmentation_pct:.2f}",
-            f"{disagg.memory_fragmentation_pct:.2f}",
+            f"{fixed['memory_fragmentation_pct']:.2f}",
+            f"{disagg['memory_fragmentation_pct']:.2f}",
             "29.5 / 9.2",
         ),
         (
             "Off (compute) %",
-            f"{fixed.compute_off_pct:.2f}",
-            f"{disagg.compute_off_pct:.2f}",
+            f"{fixed['compute_off_pct']:.2f}",
+            f"{disagg['compute_off_pct']:.2f}",
             "1.0 / 8.0",
         ),
         (
             "Off (memory) %",
-            f"{fixed.memory_off_pct:.2f}",
-            f"{disagg.memory_off_pct:.2f}",
+            f"{fixed['memory_off_pct']:.2f}",
+            f"{disagg['memory_off_pct']:.2f}",
             "1.0 / 27.0",
         ),
     ]
@@ -65,18 +76,13 @@ def test_fig1_motivation(once):
         ["metric", "fixed", "disaggregated", "paper (fixed/disagg)"],
         rows,
     )
-    save_results(
-        "fig1",
-        {
-            "fixed": fixed.as_row(),
-            "disaggregated": disagg.as_row(),
-            "units": UNITS,
-        },
-    )
+    save_results("fig1", payload)
 
     # Shape assertions (paper ratios: CPU 4.1x, MEM 3.2x improvements).
-    assert disagg.cpu_fragmentation_pct < fixed.cpu_fragmentation_pct / 2
-    assert disagg.memory_fragmentation_pct < fixed.memory_fragmentation_pct / 2
-    assert fixed.memory_fragmentation_pct > 20.0  # severe memory stranding
-    assert disagg.memory_off_pct > fixed.memory_off_pct + 10.0
-    assert disagg.memory_off_pct > 15.0  # large power-off opportunity
+    assert disagg["cpu_fragmentation_pct"] < fixed["cpu_fragmentation_pct"] / 2
+    assert (disagg["memory_fragmentation_pct"]
+            < fixed["memory_fragmentation_pct"] / 2)
+    # Severe memory stranding in the fixed model.
+    assert fixed["memory_fragmentation_pct"] > 20.0
+    assert disagg["memory_off_pct"] > fixed["memory_off_pct"] + 10.0
+    assert disagg["memory_off_pct"] > 15.0  # large power-off opportunity

@@ -12,7 +12,7 @@ Shape claims asserted:
 """
 
 import pytest
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.mem import GIB
 from repro.testbed import MemoryConfigKind, make_environment
@@ -26,19 +26,20 @@ CONFIGS = (
 THREADS = (4, 8, 16)
 
 
-def run_stream():
+def compute_payload(threads=THREADS):
+    """Sweep target: sustained bandwidth for every series point."""
     results = {}
     for kind in CONFIGS:
         model = StreamModel(make_environment(kind))
         for kernel in StreamKernel:
-            for threads in THREADS:
-                bandwidth = model.sustained_bandwidth(kernel, threads)
-                results[(kind.value, kernel.label, threads)] = bandwidth
+            for count in threads:
+                bandwidth = model.sustained_bandwidth(kernel, count)
+                results[f"{kind.value}/{kernel.label}/{count}"] = bandwidth
     return results
 
 
 def test_fig5_stream(once):
-    results = once(run_stream)
+    results = once(sweep_payload, __file__, threads=THREADS)
 
     rows = []
     for threads in THREADS:
@@ -48,7 +49,7 @@ def test_fig5_stream(once):
                     threads,
                     kernel.label,
                     *(
-                        f"{results[(kind.value, kernel.label, threads)] / GIB:.2f}"
+                        f"{results[f'{kind.value}/{kernel.label}/{threads}'] / GIB:.2f}"
                         for kind in CONFIGS
                     ),
                 )
@@ -60,15 +61,12 @@ def test_fig5_stream(once):
     )
     save_results(
         "fig5",
-        {
-            f"{kind}/{kernel}/{threads}": bandwidth / GIB
-            for (kind, kernel, threads), bandwidth in results.items()
-        },
+        {key: bandwidth / GIB for key, bandwidth in results.items()},
     )
 
-    single = lambda k, t: results[("single-disaggregated", k, t)]
-    bonding = lambda k, t: results[("bonding-disaggregated", k, t)]
-    inter = lambda k, t: results[("interleaved", k, t)]
+    single = lambda k, t: results[f"single-disaggregated/{k}/{t}"]
+    bonding = lambda k, t: results[f"bonding-disaggregated/{k}/{t}"]
+    inter = lambda k, t: results[f"interleaved/{k}/{t}"]
 
     # "~10 GiB/s with 4 threads, close to the theoretical maximum of
     # 12.5 GiB/s when using 8 threads" (§VI-C).

@@ -13,7 +13,7 @@ Shape claims asserted (§VI-D):
 """
 
 import pytest
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.apps import VoltDbModel
 from repro.testbed import MemoryConfigKind, make_environment
@@ -26,35 +26,39 @@ CONFIGS = (
 )
 
 
-def run_profile():
+def compute_payload(partitions=PARTITIONS):
+    """Sweep target: perf-derived VoltDB metrics for every series point."""
     environments = {kind: make_environment(kind) for kind in CONFIGS}
     metrics = {}
     for kind in CONFIGS:
         for workload in WORKLOADS:
-            for partitions in PARTITIONS:
-                model = VoltDbModel(environments[kind], partitions)
-                metrics[(kind.value, workload, partitions)] = model.evaluate(
-                    workload
-                )
+            for count in partitions:
+                model = VoltDbModel(environments[kind], count)
+                evaluated = model.evaluate(workload)
+                metrics[f"{kind.value}/{workload}/{count}"] = {
+                    "package_ipc": evaluated.package_ipc,
+                    "ucc": evaluated.utilized_cores,
+                    "backend_stall": evaluated.backend_stall_fraction,
+                }
     return metrics
 
 
 def test_fig6_voltdb_profile(once):
-    metrics = once(run_profile)
+    metrics = once(sweep_payload, __file__, partitions=PARTITIONS)
 
     rows = []
     for workload in WORKLOADS:
         for partitions in PARTITIONS:
-            local = metrics[("local", workload, partitions)]
-            single = metrics[("single-disaggregated", workload, partitions)]
+            local = metrics[f"local/{workload}/{partitions}"]
+            single = metrics[f"single-disaggregated/{workload}/{partitions}"]
             rows.append(
                 (
                     workload,
                     partitions,
-                    f"{local.package_ipc:.2f}",
-                    f"{local.utilized_cores:.1f}",
-                    f"{single.package_ipc:.2f}",
-                    f"{single.utilized_cores:.1f}",
+                    f"{local['package_ipc']:.2f}",
+                    f"{local['ucc']:.1f}",
+                    f"{single['package_ipc']:.2f}",
+                    f"{single['ucc']:.1f}",
                 )
             )
     print_table(
@@ -63,47 +67,38 @@ def test_fig6_voltdb_profile(once):
          "IPC(single)", "UCC(single)"],
         rows,
     )
-    save_results(
-        "fig6",
-        {
-            f"{kind}/{workload}/{partitions}": {
-                "package_ipc": m.package_ipc,
-                "ucc": m.utilized_cores,
-                "backend_stall": m.backend_stall_fraction,
-            }
-            for (kind, workload, partitions), m in metrics.items()
-        },
-    )
+    save_results("fig6", metrics)
 
     # Back-end stall calibration (§VI-D text).
-    local_a = metrics[("local", "A", 32)]
-    single_a = metrics[("single-disaggregated", "A", 32)]
-    assert local_a.backend_stall_fraction == pytest.approx(0.555, abs=0.03)
-    assert single_a.backend_stall_fraction == pytest.approx(0.809, abs=0.03)
+    local_a = metrics["local/A/32"]
+    single_a = metrics["single-disaggregated/A/32"]
+    assert local_a["backend_stall"] == pytest.approx(0.555, abs=0.03)
+    assert single_a["backend_stall"] == pytest.approx(0.809, abs=0.03)
 
     for workload in WORKLOADS:
         local_series = [
-            metrics[("local", workload, p)].package_ipc for p in PARTITIONS
+            metrics[f"local/{workload}/{p}"]["package_ipc"]
+            for p in PARTITIONS
         ]
         # IPC is non-decreasing in partitions for every workload.
         assert local_series == sorted(local_series), workload
 
     # Mixed workloads gain more from partitions than read-heavy ones.
     gain = lambda w: (
-        metrics[("local", w, 64)].package_ipc
-        / metrics[("local", w, 4)].package_ipc
+        metrics[f"local/{w}/64"]["package_ipc"]
+        / metrics[f"local/{w}/4"]["package_ipc"]
     )
     assert gain("A") > gain("E")
 
     # Disaggregation raises UCC and lowers IPC at small partition counts.
     for workload in WORKLOADS:
         for partitions in (16, 32, 64):
-            local = metrics[("local", workload, partitions)]
-            single = metrics[("single-disaggregated", workload, partitions)]
-            assert single.utilized_cores >= local.utilized_cores * 0.99, (
+            local = metrics[f"local/{workload}/{partitions}"]
+            single = metrics[f"single-disaggregated/{workload}/{partitions}"]
+            assert single["ucc"] >= local["ucc"] * 0.99, (
                 workload,
                 partitions,
             )
-        local4 = metrics[("local", workload, 4)]
-        single4 = metrics[("single-disaggregated", workload, 4)]
-        assert single4.package_ipc <= local4.package_ipc
+        local4 = metrics[f"local/{workload}/4"]
+        single4 = metrics[f"single-disaggregated/{workload}/4"]
+        assert single4["package_ipc"] <= local4["package_ipc"]

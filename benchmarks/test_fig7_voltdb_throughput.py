@@ -7,7 +7,7 @@ volume saturates VoltDB).
 """
 
 import pytest
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.apps import VoltDbModel
 from repro.testbed import MemoryConfigKind, make_environment
@@ -23,34 +23,35 @@ ORDER = (
 )
 
 
-def run_throughput():
+def compute_payload(partitions=PARTITIONS):
+    """Sweep target: YCSB throughput for every series point."""
     environments = {kind: make_environment(kind) for kind in ORDER}
     return {
-        (kind.value, workload, partitions): VoltDbModel(
-            environments[kind], partitions
-        ).evaluate(workload)
+        f"{kind.value}/{workload}/{count}": VoltDbModel(
+            environments[kind], count
+        ).evaluate(workload).throughput_ops
         for kind in ORDER
         for workload in WORKLOADS
-        for partitions in PARTITIONS
+        for count in partitions
     }
 
 
 def test_fig7_voltdb_throughput(once):
-    metrics = once(run_throughput)
+    metrics = once(sweep_payload, __file__, partitions=PARTITIONS)
 
     rows = []
     for workload in WORKLOADS:
         for partitions in PARTITIONS:
-            base = metrics[("local", workload, partitions)].throughput_ops
+            base = metrics[f"local/{workload}/{partitions}"]
             for kind in ORDER:
-                m = metrics[(kind.value, workload, partitions)]
+                ops = metrics[f"{kind.value}/{workload}/{partitions}"]
                 rows.append(
                     (
                         workload,
                         partitions,
                         kind.value,
-                        f"{m.throughput_ops / 1e3:.1f}K",
-                        f"{100 * (m.throughput_ops / base - 1):+.2f}%",
+                        f"{ops / 1e3:.1f}K",
+                        f"{100 * (ops / base - 1):+.2f}%",
                     )
                 )
     print_table(
@@ -58,18 +59,9 @@ def test_fig7_voltdb_throughput(once):
         ["wl", "parts", "config", "ops/s", "vs local"],
         rows,
     )
-    save_results(
-        "fig7",
-        {
-            f"{kind}/{workload}/{partitions}": m.throughput_ops
-            for (kind, workload, partitions), m in metrics.items()
-        },
-    )
+    save_results("fig7", metrics)
 
-    a32 = {
-        kind.value: metrics[(kind.value, "A", 32)].throughput_ops
-        for kind in ORDER
-    }
+    a32 = {kind.value: metrics[f"{kind.value}/A/32"] for kind in ORDER}
     base = a32["local"]
     # Local wins (§VI-D: "the local configuration exhibits the best
     # performance regardless of the workload and number of partitions").
@@ -85,19 +77,18 @@ def test_fig7_voltdb_throughput(once):
     )
 
     # At 4 partitions the ThymesisFlow configurations trail badly.
-    a4_local = metrics[("local", "A", 4)].throughput_ops
+    a4_local = metrics["local/A/4"]
     for kind in (
         MemoryConfigKind.SINGLE_DISAGGREGATED,
         MemoryConfigKind.BONDING_DISAGGREGATED,
     ):
-        a4 = metrics[(kind.value, "A", 4)].throughput_ops
+        a4 = metrics[f"{kind.value}/A/4"]
         assert a4 < 0.75 * a4_local, kind
 
     # Workload E: configurations stay close (read volume saturates
     # VoltDB); the spread is tighter once executors stop binding at 32.
     for partitions, bound in ((4, 1.20), (32, 1.10)):
         values = [
-            metrics[(kind.value, "E", partitions)].throughput_ops
-            for kind in ORDER
+            metrics[f"{kind.value}/E/{partitions}"] for kind in ORDER
         ]
         assert max(values) / min(values) < bound, partitions

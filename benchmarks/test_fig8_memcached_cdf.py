@@ -7,7 +7,7 @@ local on average; scale-out pays the Twemproxy hop.
 """
 
 import pytest
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.apps import MemcachedLatencyModel
 from repro.testbed import MemoryConfigKind, make_environment
@@ -31,74 +31,76 @@ PAPER_MEANS_US = {
 }
 
 
-def run_cdfs():
-    recorders = {}
-    for kind in ORDER:
-        model = MemcachedLatencyModel(make_environment(kind))
-        recorders[kind] = model.record(SAMPLES)
-    return recorders
-
-
-def test_fig8_memcached_cdf(once):
-    recorders = once(run_cdfs)
-
-    rows = []
+def compute_payload(samples=SAMPLES):
+    """Sweep target: GET-latency distribution summary per config."""
     payload = {}
     for kind in ORDER:
-        recorder = recorders[kind]
-        mean = recorder.mean * 1e6
-        rows.append(
-            (
-                kind.value,
-                f"{mean:.0f}",
-                f"{recorder.percentile(50) * 1e6:.0f}",
-                f"{recorder.percentile(90) * 1e6:.0f}",
-                f"{recorder.percentile(99) * 1e6:.0f}",
-                f"{100 * recorder.degradation_at(90):.0f}%",
-                f"{PAPER_MEANS_US[kind]:.0f}",
-            )
-        )
+        model = MemcachedLatencyModel(make_environment(kind))
+        recorder = model.record(samples)
         payload[kind.value] = {
-            "mean_us": mean,
+            "mean_us": recorder.mean * 1e6,
             "p50_us": recorder.percentile(50) * 1e6,
             "p90_us": recorder.percentile(90) * 1e6,
             "p99_us": recorder.percentile(99) * 1e6,
+            "p90_degradation": recorder.degradation_at(90),
             "cdf_decile_us": [
                 recorder.percentile(q) * 1e6 for q in range(10, 100, 10)
             ],
         }
+    # The §VI-E setup's hit ratio backs the cache-friendliness claim.
+    payload["hit_ratio"] = EtcGenerator().expected_hit_ratio(
+        model_keys=50_000, model_requests=200_000
+    )
+    return payload
+
+
+def test_fig8_memcached_cdf(once):
+    payload = once(sweep_payload, __file__, samples=SAMPLES)
+
+    rows = []
+    for kind in ORDER:
+        stats = payload[kind.value]
+        rows.append(
+            (
+                kind.value,
+                f"{stats['mean_us']:.0f}",
+                f"{stats['p50_us']:.0f}",
+                f"{stats['p90_us']:.0f}",
+                f"{stats['p99_us']:.0f}",
+                f"{100 * stats['p90_degradation']:.0f}%",
+                f"{PAPER_MEANS_US[kind]:.0f}",
+            )
+        )
     print_table(
         "Fig. 8 — Memcached GET latency (µs)",
         ["config", "mean", "p50", "p90", "p99", "p90 degr.", "paper mean"],
         rows,
     )
-    # The §VI-E setup's hit ratio backs the cache-friendliness claim.
-    hit_ratio = EtcGenerator().expected_hit_ratio(
-        model_keys=50_000, model_requests=200_000
-    )
+    hit_ratio = payload["hit_ratio"]
     print(f"ETC steady hit ratio: {hit_ratio:.3f} (paper: 0.80-0.82)")
-    payload["hit_ratio"] = hit_ratio
     save_results("fig8", payload)
 
     # Mean latencies match the paper within 3%.
     for kind in ORDER:
-        mean_us = recorders[kind].mean * 1e6
+        mean_us = payload[kind.value]["mean_us"]
         assert mean_us == pytest.approx(PAPER_MEANS_US[kind], rel=0.03), kind
 
     # Ordering: local < interleaved < single < bonding < scale-out.
-    means = [recorders[kind].mean for kind in ORDER]
+    means = [payload[kind.value]["mean_us"] for kind in ORDER]
     assert means == sorted(means)
 
     # ThymesisFlow configs within ~7% of local on average (§VI-E).
-    local_mean = recorders[MemoryConfigKind.LOCAL].mean
+    local_mean = payload[MemoryConfigKind.LOCAL.value]["mean_us"]
     for kind in ORDER[1:4]:
-        assert recorders[kind].mean / local_mean - 1 <= 0.09
+        assert payload[kind.value]["mean_us"] / local_mean - 1 <= 0.09
 
     # Scale-out: ~2x degradation at p90, the heaviest tail of all.
-    scale_out_deg = recorders[MemoryConfigKind.SCALE_OUT].degradation_at(90)
+    scale_out_deg = payload[
+        MemoryConfigKind.SCALE_OUT.value
+    ]["p90_degradation"]
     assert 0.8 <= scale_out_deg <= 1.2
     assert scale_out_deg == max(
-        recorders[kind].degradation_at(90) for kind in ORDER
+        payload[kind.value]["p90_degradation"] for kind in ORDER
     )
 
     # Hit ratio in the reported band.

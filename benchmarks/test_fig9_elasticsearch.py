@@ -16,7 +16,7 @@ preserving single-channel as the clear loser.
 """
 
 import pytest
-from conftest import print_table, save_results
+from conftest import print_table, save_results, sweep_payload
 
 from repro.apps import ElasticsearchModel
 from repro.testbed import MemoryConfigKind, make_environment
@@ -32,27 +32,28 @@ ORDER = (
 SHARDS = (5, 32)
 
 
-def run_track():
+def compute_payload(shards=SHARDS):
+    """Sweep target: nested-track throughput for every series point."""
     environments = {kind: make_environment(kind) for kind in ORDER}
     return {
-        (challenge.name, shards, kind.value): ElasticsearchModel(
-            environments[kind], shards
+        f"{challenge.name}/{count}/{kind.value}": ElasticsearchModel(
+            environments[kind], count
         ).throughput_qps(challenge)
         for challenge in Challenge
-        for shards in SHARDS
+        for count in shards
         for kind in ORDER
     }
 
 
 def test_fig9_elasticsearch(once):
-    results = once(run_track)
+    results = once(sweep_payload, __file__, shards=SHARDS)
 
     rows = []
     for challenge in Challenge:
         for shards in SHARDS:
-            so = results[(challenge.name, shards, "scale-out")]
+            so = results[f"{challenge.name}/{shards}/scale-out"]
             for kind in ORDER:
-                qps = results[(challenge.name, shards, kind.value)]
+                qps = results[f"{challenge.name}/{shards}/{kind.value}"]
                 rows.append(
                     (
                         challenge.name,
@@ -67,12 +68,9 @@ def test_fig9_elasticsearch(once):
         ["challenge", "shards", "config", "ops/s", "vs scale-out"],
         rows,
     )
-    save_results(
-        "fig9",
-        {f"{c}/{s}/{k}": v for (c, s, k), v in results.items()},
-    )
+    save_results("fig9", results)
 
-    get = lambda c, s, k: results[(c, s, k.value)]
+    get = lambda c, s, k: results[f"{c}/{s}/{k.value}"]
 
     # RTQ: scale-out wins outright, including over local (§VI-F).
     for shards in SHARDS:

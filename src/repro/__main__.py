@@ -1,17 +1,22 @@
-"""Command line: regenerate paper figures, run the demo, trace a workload.
+"""Command line: regenerate paper figures, run the demo, trace, sweep.
 
 Usage::
 
-    python -m repro list               # what can be regenerated
-    python -m repro fig5               # one figure's series
-    python -m repro all                # every figure
-    python -m repro demo               # attach/detach walk-through
-    python -m repro trace stream       # traced run + Chrome-trace artifacts
+    python -m repro list                 # what can be regenerated
+    python -m repro fig5                 # one figure's series (serial)
+    python -m repro all                  # every figure (serial)
+    python -m repro demo                 # attach/detach walk-through
+    python -m repro trace stream         # traced run + Chrome-trace artifacts
+    python -m repro figures --jobs auto  # parallel + cached regeneration
+    python -m repro sweep slice:fig8.config --sweep kind=local,scale-out \\
+        --set samples=30000              # fan a target out over a grid
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import os
 import sys
 
@@ -137,7 +142,10 @@ def _run_trace(argv) -> int:
         ),
     )
     parser.add_argument(
-        "workload", choices=sorted(_TRACE_WORKLOADS), help="workload to trace"
+        "workload",
+        choices=sorted(_TRACE_WORKLOADS),
+        nargs="?",
+        help="workload to trace",
     )
     parser.add_argument(
         "--bytes",
@@ -158,6 +166,9 @@ def _run_trace(argv) -> int:
         help="output directory for the exported artifacts",
     )
     args = parser.parse_args(argv)
+    if args.workload is None:
+        parser.print_help()
+        return 0
     nbytes = max(256, args.nbytes - args.nbytes % 256)
 
     from .obs import (
@@ -195,13 +206,212 @@ def _run_trace(argv) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    if argv is None:
-        argv = sys.argv[1:]
-    # The trace subcommand has its own options; dispatch before the
-    # single-positional legacy parser sees (and rejects) them.
-    if argv and argv[0] == "trace":
-        return _run_trace(list(argv[1:]))
+# -- sweep-engine subcommands ----------------------------------------------------
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes: an integer or 'auto' (= CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: benchmarks/results/cache)",
+    )
+
+
+def _make_engine(args):
+    from .sweep import SweepEngine
+
+    return SweepEngine(
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
+    )
+
+
+def _run_figures(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro figures",
+        description=(
+            "Regenerate paper figures through the sweep engine: "
+            "independent slices fan out over worker processes and "
+            "cached slices are not recomputed. Output tables are "
+            "byte-identical to the serial figure functions."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="figure",
+        help=f"figure ids to regenerate (default: all of "
+             f"{', '.join(sorted(FIGURES))})",
+    )
+    _add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from .obs import summary_from_snapshot
+    from .sweep import run_figures
+
+    names = args.figures or sorted(FIGURES)
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(FIGURES))})"
+        )
+    tables, engine = run_figures(names, engine=_make_engine(args))
+    for name in names:
+        print(render(tables[name]))
+        print()
+    print(engine.stats_line())
+    if engine.executed:
+        print()
+        print(
+            summary_from_snapshot(
+                "sweep metrics (workers merged)",
+                engine.registry.snapshot(),
+                prefixes=["sweep"],
+            ).render()
+        )
+    return 0
+
+
+def _parse_value(text: str):
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_assignment(option: str, text: str):
+    if "=" not in text:
+        raise SystemExit(
+            f"error: {option} expects KEY=VALUE, got {text!r}"
+        )
+    key, _, value = text.partition("=")
+    return key, value
+
+
+def _run_sweep(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description=(
+            "Fan one target out over a parameter grid through the "
+            "sweep engine. Targets: 'slice:<name>' (figure slices), "
+            "'figure:<name>' (whole figures), 'py:<module>:<function>' "
+            "(any importable JSON-returning function)."
+        ),
+        epilog=(
+            "example: python -m repro sweep slice:fig8.config "
+            "--sweep kind=local,scale-out --set samples=10000 --jobs 2"
+        ),
+    )
+    parser.add_argument(
+        "target", help="target to run (slice:, figure: or py:module:function)"
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="fixed",
+        help="fixed kwarg for every run (VALUE parsed as JSON, else string)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        dest="swept",
+        help="kwarg swept over comma-separated values (cartesian product)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="per-spec seed recorded in the cache key (passed to targets "
+             "that accept a 'seed' kwarg)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per run instead of the table",
+    )
+    _add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from .sweep import make_spec, resolve_target
+
+    try:
+        resolve_target(args.target)
+    except (KeyError, ImportError, AttributeError, ValueError) as error:
+        parser.error(str(error))
+
+    fixed = dict(
+        (key, _parse_value(value))
+        for key, value in (
+            _parse_assignment("--set", item) for item in args.fixed
+        )
+    )
+    axes = []
+    for item in args.swept:
+        key, values = _parse_assignment("--sweep", item)
+        axes.append(
+            (key, [_parse_value(value) for value in values.split(",")])
+        )
+
+    grids = [dict(zip([k for k, _ in axes], combo))
+             for combo in itertools.product(*[v for _, v in axes])]
+    specs = [
+        make_spec(args.target, seed=args.seed, **{**fixed, **grid})
+        for grid in grids
+    ]
+    engine = _make_engine(args)
+    outcomes = engine.run(specs)
+
+    for outcome in outcomes:
+        record = {
+            "key": outcome.spec.key,
+            "target": outcome.spec.target,
+            "kwargs": outcome.spec.kwargs,
+            "seed": outcome.spec.seed,
+            "cached": outcome.cached,
+            "elapsed_s": round(outcome.elapsed_s, 6),
+            "result": outcome.value,
+        }
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            preview = json.dumps(outcome.value)
+            if len(preview) > 72:
+                preview = preview[:69] + "..."
+            source = "cache" if outcome.cached else "run"
+            print(
+                f"{outcome.spec.key[:12]}  {source:5s} "
+                f"{outcome.elapsed_s:8.3f}s  "
+                f"{outcome.spec.kwargs_json}  {preview}"
+            )
+    print(engine.stats_line())
+    return 0
+
+
+# -- entry point -----------------------------------------------------------------
+
+#: Subcommands with their own argv (dispatched before the main parser).
+_SUBCOMMANDS = {
+    "trace": _run_trace,
+    "figures": _run_figures,
+    "sweep": _run_sweep,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -209,24 +419,51 @@ def main(argv=None) -> int:
             "paper's figures from the simulated stack."
         ),
     )
-    parser.add_argument(
-        "target",
-        choices=sorted(FIGURES) + ["all", "list", "demo", "trace"],
-        help="figure id, 'all', 'list', 'demo', or 'trace <workload>'",
+    sub = parser.add_subparsers(dest="command", metavar="command")
+    sub.add_parser("list", help="list every regenerable figure")
+    sub.add_parser("all", help="regenerate every figure serially")
+    for name, fn in sorted(FIGURES.items()):
+        sub.add_parser(name, help=fn.__doc__.strip().splitlines()[0])
+    sub.add_parser("demo", help="attach/detach walk-through with summary")
+    sub.add_parser(
+        "trace",
+        help="traced workload run with Chrome-trace + metrics artifacts",
+        add_help=False,
     )
+    sub.add_parser(
+        "figures",
+        help="parallel, cached figure regeneration (--jobs N, --no-cache)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "sweep",
+        help="fan a target out over a parameter grid (--sweep k=v1,v2)",
+        add_help=False,
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommands with options of their own get the raw argv tail; the
+    # main parser only ever sees the simple single-token commands.
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](list(argv[1:]))
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.target == "list":
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
         for name, fn in sorted(FIGURES.items()):
             print(f"{name:6s} {fn.__doc__.strip().splitlines()[0]}")
         return 0
-    if args.target == "demo":
+    if args.command == "demo":
         _run_demo()
         return 0
-    if args.target == "trace":
-        # `trace` with no workload: show the subcommand's usage/help.
-        return _run_trace(["--help"])
-    targets = sorted(FIGURES) if args.target == "all" else [args.target]
+    targets = sorted(FIGURES) if args.command == "all" else [args.command]
     for name in targets:
         print(render(FIGURES[name]()))
         print()
@@ -234,4 +471,11 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly the way
+        # well-behaved Unix filters do (128 + SIGPIPE).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(141)

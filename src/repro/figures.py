@@ -5,11 +5,23 @@ the corresponding figure plots — so users can consume the numbers
 without going through pytest (the benchmarks add assertions and JSON
 artifacts on top of the same models). Used by the ``python -m repro``
 command line.
+
+Internally every figure is described twice over the same code:
+
+* a **plan** (``FIGURE_PLANS[name]``) — title, headers, and an ordered
+  list of independent *slice* calls ``(slice_name, kwargs)``;
+* the **slices** (``SLICES[slice_name]``) — pure functions computing
+  one slice's rows from JSON-serializable kwargs.
+
+The public ``fig*`` functions simply materialize their plan serially.
+``repro.sweep`` executes the very same slice calls in worker processes
+and reassembles rows in plan order, which is what makes parallel
+figure regeneration byte-identical to these serial functions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from .apps import ElasticsearchModel, MemcachedLatencyModel, VoltDbModel
 from .cluster import run_fig1_experiment, scaled_trace_config
@@ -20,6 +32,33 @@ from .workloads import Challenge, StreamKernel, StreamModel
 
 FigureTable = Tuple[str, List[str], List[List[str]]]
 
+#: One slice call: (name in ``SLICES``, JSON-serializable kwargs).
+SliceCall = Tuple[str, Dict[str, Any]]
+
+#: One figure's declarative decomposition.
+FigurePlan = Tuple[str, List[str], List[SliceCall]]
+
+#: Registry of slice functions, each returning a list of rows.
+SLICES: Dict[str, Callable[..., List[List[str]]]] = {}
+
+
+def _slice(name: str):
+    def register(fn):
+        SLICES[name] = fn
+        return fn
+
+    return register
+
+
+def _materialize(plan: FigurePlan) -> FigureTable:
+    """Run a plan's slices serially, in order — the reference output."""
+    title, headers, calls = plan
+    rows: List[List[str]] = []
+    for slice_name, kwargs in calls:
+        rows.extend(SLICES[slice_name](**kwargs))
+    return title, headers, rows
+
+
 _ALL_CONFIGS = (
     MemoryConfigKind.LOCAL,
     MemoryConfigKind.SCALE_OUT,
@@ -29,12 +68,17 @@ _ALL_CONFIGS = (
 )
 
 
-def fig1(units: int = 400) -> FigureTable:
-    """Fig. 1 — fixed vs disaggregated datacentre utilization."""
+# --------------------------------------------------------------------------- #
+# Fig. 1                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@_slice("fig1.rows")
+def _fig1_rows(units: int) -> List[List[str]]:
     reports = run_fig1_experiment(scaled_trace_config(units=units),
                                   units=units)
     fixed, disagg = reports["fixed"], reports["disaggregated"]
-    rows = [
+    return [
         ["fragmentation CPU %", f"{fixed.cpu_fragmentation_pct:.2f}",
          f"{disagg.cpu_fragmentation_pct:.2f}", "16.0 / 3.86"],
         ["fragmentation MEM %", f"{fixed.memory_fragmentation_pct:.2f}",
@@ -44,177 +88,295 @@ def fig1(units: int = 400) -> FigureTable:
         ["off memory %", f"{fixed.memory_off_pct:.2f}",
          f"{disagg.memory_off_pct:.2f}", "1.0 / 27.0"],
     ]
+
+
+def plan_fig1(units: int = 400) -> FigurePlan:
     return (
         f"Fig. 1 — datacentre utilization ({units} units)",
         ["metric", "fixed", "disaggregated", "paper (fixed/disagg)"],
-        rows,
+        [("fig1.rows", {"units": units})],
     )
 
 
-def rtt(samples: int = 32) -> FigureTable:
-    """§V — the ~950 ns datapath RTT, static budget and live measurement."""
+def fig1(units: int = 400) -> FigureTable:
+    """Fig. 1 — fixed vs disaggregated datacentre utilization."""
+    return _materialize(plan_fig1(units=units))
+
+
+# --------------------------------------------------------------------------- #
+# §V RTT                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@_slice("rtt.rows")
+def _rtt_rows(samples: int) -> List[List[str]]:
     testbed = Testbed()
     attachment = testbed.attach("node0", 2 * MIB, memory_host="node1")
     window = testbed.remote_window_range(attachment)
     for index in range(samples):
         testbed.node0.run_load(window.start + index * 128)
     recorder = testbed.node0.device.compute.rtt
-    rows = [
+    return [
         ["static budget (4xFPGA + 6xserdes + cables)",
          f"{rtt_budget_s() * 1e9:.0f} ns", "~950 ns"],
         ["measured mean (incl. donor DRAM)",
          f"{recorder.mean * 1e9:.0f} ns", "~950 ns + memory"],
     ]
-    return ("§V — remote access RTT", ["quantity", "value", "paper"], rows)
+
+
+def plan_rtt(samples: int = 32) -> FigurePlan:
+    return (
+        "§V — remote access RTT",
+        ["quantity", "value", "paper"],
+        [("rtt.rows", {"samples": samples})],
+    )
+
+
+def rtt(samples: int = 32) -> FigureTable:
+    """§V — the ~950 ns datapath RTT, static budget and live measurement."""
+    return _materialize(plan_rtt(samples=samples))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5                                                                      #
+# --------------------------------------------------------------------------- #
+
+_FIG5_CONFIGS = (
+    MemoryConfigKind.BONDING_DISAGGREGATED,
+    MemoryConfigKind.SINGLE_DISAGGREGATED,
+    MemoryConfigKind.INTERLEAVED,
+)
+
+
+@_slice("fig5.threads")
+def _fig5_threads(count: int) -> List[List[str]]:
+    models = {
+        kind: StreamModel(make_environment(kind)) for kind in _FIG5_CONFIGS
+    }
+    rows = []
+    for kernel in StreamKernel:
+        rows.append(
+            [str(count), kernel.label]
+            + [
+                f"{models[kind].sustained_bandwidth(kernel, count) / GIB:.2f}"
+                for kind in _FIG5_CONFIGS
+            ]
+        )
+    return rows
+
+
+def plan_fig5(threads: Sequence[int] = (4, 8, 16)) -> FigurePlan:
+    return (
+        "Fig. 5 — STREAM GiB/s (single-channel theoretical max 12.5)",
+        ["threads", "kernel", "bonding", "single", "interleaved"],
+        [("fig5.threads", {"count": int(count)}) for count in threads],
+    )
 
 
 def fig5(threads: Sequence[int] = (4, 8, 16)) -> FigureTable:
     """Fig. 5 — STREAM sustained bandwidth."""
-    configs = (
-        MemoryConfigKind.BONDING_DISAGGREGATED,
-        MemoryConfigKind.SINGLE_DISAGGREGATED,
-        MemoryConfigKind.INTERLEAVED,
-    )
-    models = {kind: StreamModel(make_environment(kind)) for kind in configs}
+    return _materialize(plan_fig5(threads=threads))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@_slice("fig6.workload")
+def _fig6_workload(workload: str, partitions: Sequence[int]) -> List[List[str]]:
+    environments = {
+        kind: make_environment(kind)
+        for kind in (
+            MemoryConfigKind.LOCAL,
+            MemoryConfigKind.SINGLE_DISAGGREGATED,
+        )
+    }
     rows = []
-    for count in threads:
-        for kernel in StreamKernel:
-            rows.append(
-                [str(count), kernel.label]
-                + [
-                    f"{models[kind].sustained_bandwidth(kernel, count) / GIB:.2f}"
-                    for kind in configs
-                ]
-            )
+    for count in partitions:
+        local = VoltDbModel(
+            environments[MemoryConfigKind.LOCAL], count
+        ).evaluate(workload)
+        single = VoltDbModel(
+            environments[MemoryConfigKind.SINGLE_DISAGGREGATED], count
+        ).evaluate(workload)
+        rows.append(
+            [
+                workload,
+                str(count),
+                f"{local.package_ipc:.2f}",
+                f"{local.utilized_cores:.1f}",
+                f"{single.package_ipc:.2f}",
+                f"{single.utilized_cores:.1f}",
+            ]
+        )
+    return rows
+
+
+def plan_fig6(partitions: Sequence[int] = (4, 16, 32, 64)) -> FigurePlan:
     return (
-        "Fig. 5 — STREAM GiB/s (single-channel theoretical max 12.5)",
-        ["threads", "kernel", "bonding", "single", "interleaved"],
-        rows,
+        "Fig. 6 — VoltDB IPC/UCC (stalls: 55.5% local vs 80.9% single)",
+        ["wl", "parts", "IPC loc", "UCC loc", "IPC sgl", "UCC sgl"],
+        [
+            ("fig6.workload",
+             {"workload": workload, "partitions": [int(p) for p in partitions]})
+            for workload in "ABCDEF"
+        ],
     )
 
 
 def fig6(partitions: Sequence[int] = (4, 16, 32, 64)) -> FigureTable:
     """Fig. 6 — VoltDB package IPC / utilized cores."""
-    configs = (
-        MemoryConfigKind.LOCAL,
-        MemoryConfigKind.SINGLE_DISAGGREGATED,
-    )
-    environments = {kind: make_environment(kind) for kind in configs}
+    return _materialize(plan_fig6(partitions=partitions))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@_slice("fig7.case")
+def _fig7_case(workload: str, partitions: int) -> List[List[str]]:
+    environments = {kind: make_environment(kind) for kind in _ALL_CONFIGS}
+    base = VoltDbModel(
+        environments[MemoryConfigKind.LOCAL], partitions
+    ).evaluate(workload).throughput_ops
     rows = []
-    for workload in "ABCDEF":
-        for count in partitions:
-            local = VoltDbModel(
-                environments[MemoryConfigKind.LOCAL], count
-            ).evaluate(workload)
-            single = VoltDbModel(
-                environments[MemoryConfigKind.SINGLE_DISAGGREGATED], count
-            ).evaluate(workload)
-            rows.append(
-                [
-                    workload,
-                    str(count),
-                    f"{local.package_ipc:.2f}",
-                    f"{local.utilized_cores:.1f}",
-                    f"{single.package_ipc:.2f}",
-                    f"{single.utilized_cores:.1f}",
-                ]
-            )
+    for kind in _ALL_CONFIGS:
+        metric = VoltDbModel(environments[kind], partitions).evaluate(
+            workload
+        )
+        rows.append(
+            [
+                workload,
+                str(partitions),
+                kind.value,
+                f"{metric.throughput_ops / 1e3:.1f}K",
+                f"{100 * (metric.throughput_ops / base - 1):+.2f}%",
+            ]
+        )
+    return rows
+
+
+def plan_fig7(partitions: Sequence[int] = (4, 32)) -> FigurePlan:
     return (
-        "Fig. 6 — VoltDB IPC/UCC (stalls: 55.5% local vs 80.9% single)",
-        ["wl", "parts", "IPC loc", "UCC loc", "IPC sgl", "UCC sgl"],
-        rows,
+        "Fig. 7 — YCSB A/E throughput",
+        ["wl", "parts", "config", "ops/s", "vs local"],
+        [
+            ("fig7.case", {"workload": workload, "partitions": int(count)})
+            for workload in "AE"
+            for count in partitions
+        ],
     )
 
 
 def fig7(partitions: Sequence[int] = (4, 32)) -> FigureTable:
     """Fig. 7 — YCSB A/E throughput across all five configurations."""
-    environments = {kind: make_environment(kind) for kind in _ALL_CONFIGS}
-    rows = []
-    for workload in "AE":
-        for count in partitions:
-            base = VoltDbModel(
-                environments[MemoryConfigKind.LOCAL], count
-            ).evaluate(workload).throughput_ops
-            for kind in _ALL_CONFIGS:
-                metric = VoltDbModel(environments[kind], count).evaluate(
-                    workload
-                )
-                rows.append(
-                    [
-                        workload,
-                        str(count),
-                        kind.value,
-                        f"{metric.throughput_ops / 1e3:.1f}K",
-                        f"{100 * (metric.throughput_ops / base - 1):+.2f}%",
-                    ]
-                )
+    return _materialize(plan_fig7(partitions=partitions))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8                                                                      #
+# --------------------------------------------------------------------------- #
+
+_FIG8_ORDER = (
+    MemoryConfigKind.LOCAL,
+    MemoryConfigKind.INTERLEAVED,
+    MemoryConfigKind.SINGLE_DISAGGREGATED,
+    MemoryConfigKind.BONDING_DISAGGREGATED,
+    MemoryConfigKind.SCALE_OUT,
+)
+
+_FIG8_PAPER_MEAN_US = {
+    "local": 600, "interleaved": 614, "single-disaggregated": 635,
+    "bonding-disaggregated": 650, "scale-out": 713,
+}
+
+
+@_slice("fig8.config")
+def _fig8_config(kind: str, samples: int) -> List[List[str]]:
+    # Each configuration draws from its own derived RNG substream, so
+    # per-config slices reproduce the serial draws exactly.
+    config = MemoryConfigKind(kind)
+    recorder = MemcachedLatencyModel(make_environment(config)).record(
+        samples
+    )
+    return [
+        [
+            config.value,
+            f"{recorder.mean * 1e6:.0f}",
+            f"{recorder.percentile(90) * 1e6:.0f}",
+            f"{100 * recorder.degradation_at(90):.0f}%",
+            str(_FIG8_PAPER_MEAN_US[config.value]),
+        ]
+    ]
+
+
+def plan_fig8(samples: int = 30_000) -> FigurePlan:
     return (
-        "Fig. 7 — YCSB A/E throughput",
-        ["wl", "parts", "config", "ops/s", "vs local"],
-        rows,
+        "Fig. 8 — Memcached GET latency (µs)",
+        ["config", "mean", "p90", "p90 degr.", "paper mean"],
+        [
+            ("fig8.config", {"kind": kind.value, "samples": int(samples)})
+            for kind in _FIG8_ORDER
+        ],
     )
 
 
 def fig8(samples: int = 30_000) -> FigureTable:
     """Fig. 8 — Memcached GET latency distribution summary."""
-    order = (
-        MemoryConfigKind.LOCAL,
-        MemoryConfigKind.INTERLEAVED,
-        MemoryConfigKind.SINGLE_DISAGGREGATED,
-        MemoryConfigKind.BONDING_DISAGGREGATED,
-        MemoryConfigKind.SCALE_OUT,
-    )
-    paper = {"local": 600, "interleaved": 614, "single-disaggregated": 635,
-             "bonding-disaggregated": 650, "scale-out": 713}
+    return _materialize(plan_fig8(samples=samples))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@_slice("fig9.case")
+def _fig9_case(challenge: str, shards: int) -> List[List[str]]:
+    environments = {kind: make_environment(kind) for kind in _ALL_CONFIGS}
+    track = Challenge[challenge]
+    so = ElasticsearchModel(
+        environments[MemoryConfigKind.SCALE_OUT], shards
+    ).throughput_qps(track)
     rows = []
-    for kind in order:
-        recorder = MemcachedLatencyModel(make_environment(kind)).record(
-            samples
+    for kind in _ALL_CONFIGS:
+        qps = ElasticsearchModel(environments[kind], shards).throughput_qps(
+            track
         )
         rows.append(
             [
+                track.name,
+                str(shards),
                 kind.value,
-                f"{recorder.mean * 1e6:.0f}",
-                f"{recorder.percentile(90) * 1e6:.0f}",
-                f"{100 * recorder.degradation_at(90):.0f}%",
-                str(paper[kind.value]),
+                f"{qps:.1f}",
+                f"{100 * (qps / so - 1):+.1f}%",
             ]
         )
+    return rows
+
+
+def plan_fig9(shards: Sequence[int] = (5, 32)) -> FigurePlan:
     return (
-        "Fig. 8 — Memcached GET latency (µs)",
-        ["config", "mean", "p90", "p90 degr.", "paper mean"],
-        rows,
+        "Fig. 9 — ESRally nested track (ops/s)",
+        ["challenge", "shards", "config", "ops/s", "vs scale-out"],
+        [
+            ("fig9.case", {"challenge": challenge.name, "shards": int(count)})
+            for challenge in Challenge
+            for count in shards
+        ],
     )
 
 
 def fig9(shards: Sequence[int] = (5, 32)) -> FigureTable:
     """Fig. 9 — Elasticsearch nested-track throughput."""
-    environments = {kind: make_environment(kind) for kind in _ALL_CONFIGS}
-    rows = []
-    for challenge in Challenge:
-        for count in shards:
-            so = ElasticsearchModel(
-                environments[MemoryConfigKind.SCALE_OUT], count
-            ).throughput_qps(challenge)
-            for kind in _ALL_CONFIGS:
-                qps = ElasticsearchModel(
-                    environments[kind], count
-                ).throughput_qps(challenge)
-                rows.append(
-                    [
-                        challenge.name,
-                        str(count),
-                        kind.value,
-                        f"{qps:.1f}",
-                        f"{100 * (qps / so - 1):+.1f}%",
-                    ]
-                )
-    return (
-        "Fig. 9 — ESRally nested track (ops/s)",
-        ["challenge", "shards", "config", "ops/s", "vs scale-out"],
-        rows,
-    )
+    return _materialize(plan_fig9(shards=shards))
 
+
+# --------------------------------------------------------------------------- #
+# Registries                                                                  #
+# --------------------------------------------------------------------------- #
 
 FIGURES = {
     "fig1": fig1,
@@ -224,6 +386,16 @@ FIGURES = {
     "fig7": fig7,
     "fig8": fig8,
     "fig9": fig9,
+}
+
+FIGURE_PLANS: Dict[str, Callable[..., FigurePlan]] = {
+    "fig1": plan_fig1,
+    "rtt": plan_rtt,
+    "fig5": plan_fig5,
+    "fig6": plan_fig6,
+    "fig7": plan_fig7,
+    "fig8": plan_fig8,
+    "fig9": plan_fig9,
 }
 
 

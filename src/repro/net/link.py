@@ -35,7 +35,16 @@ SERDES_CROSSING_S = 55e-9
 
 
 class LinkConfig:
-    """Static parameters of one unidirectional channel."""
+    """Static parameters of one unidirectional channel.
+
+    The derived rates are precomputed once here: ``serialization_time``
+    sits on the per-frame hot path of every link pump, and walking the
+    ``payload_bits_per_s`` -> ``raw_bits_per_s`` property chain on each
+    frame costs two Python calls and three float ops per frame for
+    values that never change after construction. The properties remain
+    as thin reads of the precomputed fields; the instance is treated as
+    immutable (construct a new config to change a parameter).
+    """
 
     def __init__(
         self,
@@ -54,15 +63,20 @@ class LinkConfig:
         self.cable_propagation_s = cable_propagation_s
         self.serdes_crossing_s = serdes_crossing_s
         self.coding_overhead = coding_overhead
+        # Same arithmetic as the former property chain, so precomputed
+        # values (and every downstream timestamp) stay bit-identical.
+        self._raw_bits_per_s = lanes * lane_gbps * 1e9
+        self._payload_bits_per_s = self._raw_bits_per_s / coding_overhead
+        self._flight_latency_s = serdes_crossing_s + cable_propagation_s
 
     @property
     def raw_bits_per_s(self) -> float:
-        return self.lanes * self.lane_gbps * 1e9
+        return self._raw_bits_per_s
 
     @property
     def payload_bits_per_s(self) -> float:
         """Line rate available to payload after 64B/66B coding."""
-        return self.raw_bits_per_s / self.coding_overhead
+        return self._payload_bits_per_s
 
     @property
     def flight_latency_s(self) -> float:
@@ -70,10 +84,10 @@ class LinkConfig:
 
         The paper's RTT budget counts "two [serdes crossings] for the
         network" — one per direction (§V)."""
-        return self.serdes_crossing_s + self.cable_propagation_s
+        return self._flight_latency_s
 
     def serialization_time(self, payload_bytes: int) -> float:
-        return payload_bytes * 8 / self.payload_bits_per_s
+        return payload_bytes * 8 / self._payload_bits_per_s
 
 
 class SerialLink:

@@ -37,7 +37,13 @@ from .trace import (
     enable_tracing,
     tracing,
 )
-from .metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    parse_qualified,
+)
 from .summary import RunSummary, summary_from_snapshot
 from .export import (
     chrome_trace,
@@ -59,6 +65,7 @@ __all__ = [
     "Gauge",
     "HistogramMetric",
     "MetricsRegistry",
+    "parse_qualified",
     "RunSummary",
     "summary_from_snapshot",
     "chrome_trace",

@@ -27,7 +27,13 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "parse_qualified",
+]
 
 LabelSet = Tuple[Tuple[str, str], ...]
 
@@ -41,6 +47,22 @@ def qualified_name(name: str, labels: LabelSet) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def parse_qualified(qualified: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`qualified_name`: ``name{k=v,...}`` -> (name, labels).
+
+    Label values containing ``,`` or ``}`` are not representable in the
+    qualified form and therefore not parseable back; the components
+    (link names, config kinds, targets) never use them.
+    """
+    if qualified.endswith("}") and "{" in qualified:
+        name, _, inner = qualified.partition("{")
+        labels = dict(
+            item.split("=", 1) for item in inner[:-1].split(",") if item
+        )
+        return name, labels
+    return qualified, {}
 
 
 class _Metric:
@@ -211,6 +233,20 @@ class MetricsRegistry:
     def collect(self) -> None:
         for collector in self._collectors:
             collector(self)
+
+    def merge_flat(self, flat: Dict[str, Any]) -> None:
+        """Merge a flattened snapshot by summation.
+
+        This is how per-worker counters from a parallel sweep fold into
+        the parent registry: each ``{qualified: value}`` series is
+        parsed back into (name, labels) and accumulated into a gauge,
+        so N workers' ``sweep.worker.busy_s`` sum into one series.
+        Summation is exact for counter-style series; derived series
+        (means, percentiles) should not be merged this way.
+        """
+        for qualified, value in flat.items():
+            name, labels = parse_qualified(qualified)
+            self.gauge(name, **labels).adjust(float(value))
 
     # -- output ----------------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:

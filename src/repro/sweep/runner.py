@@ -1,0 +1,84 @@
+"""Figure regeneration on top of the sweep engine.
+
+``repro.figures`` describes every figure as a *plan*: a title, headers
+and an ordered list of independent slice calls (see
+``repro.figures.FIGURE_PLANS``). This module turns plans into
+:class:`~repro.sweep.RunSpec` lists, executes them through a
+:class:`~repro.sweep.SweepEngine` — all figures' slices in one global
+fan-out, so a wide figure keeps the pool busy while a narrow one
+finishes — and reassembles the slice rows into the same
+``(title, headers, rows)`` tables the serial functions return. Row
+order is fixed by the plan, never by completion order, which is why
+``--jobs N`` output is byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..figures import FIGURE_PLANS, FigureTable
+from .engine import SweepEngine
+from .spec import RunSpec, make_spec
+
+__all__ = ["figure_specs", "run_figures"]
+
+
+def figure_specs(
+    name: str,
+    fingerprint: Optional[str] = None,
+    **kwargs: Any,
+) -> Tuple[str, List[str], List[RunSpec]]:
+    """One figure's (title, headers, specs) from its declarative plan."""
+    title, headers, calls = FIGURE_PLANS[name](**kwargs)
+    specs = [
+        make_spec(f"slice:{slice_name}", fingerprint=fingerprint, **call_kwargs)
+        for slice_name, call_kwargs in calls
+    ]
+    return title, headers, specs
+
+
+def run_figures(
+    names: Optional[Sequence[str]] = None,
+    *,
+    jobs: Union[int, str, None] = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    figure_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Tuple[Dict[str, FigureTable], SweepEngine]:
+    """Regenerate figures through the engine.
+
+    Returns ``(tables, engine)`` where ``tables`` maps figure name to
+    the familiar ``(title, headers, rows)`` tuple and ``engine`` holds
+    cache/parallelism statistics and the merged worker metrics.
+    ``figure_kwargs`` optionally overrides one figure's plan kwargs,
+    e.g. ``{"fig8": {"samples": 500_000}}``.
+    """
+    if names is None:
+        names = sorted(FIGURE_PLANS)
+    unknown = [name for name in names if name not in FIGURE_PLANS]
+    if unknown:
+        raise KeyError(
+            f"unknown figure(s) {unknown}; available: "
+            f"{sorted(FIGURE_PLANS)}"
+        )
+    if engine is None:
+        engine = SweepEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+
+    layout = []  # (name, title, headers, first spec index, spec count)
+    all_specs: List[RunSpec] = []
+    for name in names:
+        overrides = (figure_kwargs or {}).get(name, {})
+        title, headers, specs = figure_specs(name, **overrides)
+        layout.append((name, title, headers, len(all_specs), len(specs)))
+        all_specs.extend(specs)
+
+    outcomes = engine.run(all_specs)
+
+    tables: Dict[str, FigureTable] = {}
+    for name, title, headers, start, count in layout:
+        rows: List[List[str]] = []
+        for outcome in outcomes[start:start + count]:
+            rows.extend(outcome.value)
+        tables[name] = (title, headers, rows)
+    return tables, engine

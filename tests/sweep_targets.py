@@ -1,0 +1,6 @@
+"""Importable ``py:`` sweep targets used by the sweep-engine tests."""
+
+
+def seeded_value(scale: int, seed: int = 0) -> dict:
+    """Echo back the kwargs the engine resolved for this spec."""
+    return {"seed": seed, "scale": scale}

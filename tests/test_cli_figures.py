@@ -63,3 +63,78 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestCliHelp:
+    """Every subcommand is listed with one-line help, and each
+    option-taking subcommand answers ``--help`` (no drift)."""
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("list", "all", "demo", "trace", "figures", "sweep"):
+            assert command in out, command
+        for figure in FIGURES:
+            assert figure in out, figure
+
+    @pytest.mark.parametrize("command", ["trace", "figures", "sweep"])
+    def test_subcommand_help(self, command, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert f"python -m repro {command}" in out
+
+    def test_no_arguments_prints_help(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 2
+        assert "figures" in capsys.readouterr().out
+
+
+class TestCliSweepEngine:
+    def test_figures_subcommand_parallel_cached(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["figures", "fig5", "rtt", "--jobs", "2",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Fig. 5" in cold and "remote access RTT" in cold
+        assert "4 executed" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed" in warm and "4 hits" in warm
+        # The rendered tables themselves are identical cold vs warm.
+        assert cold.split("sweep:")[0] == warm.split("sweep:")[0]
+
+    def test_figures_subcommand_rejects_unknown_figure(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figures", "nope", "--cache-dir", str(tmp_path)])
+
+    def test_sweep_subcommand_grid(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "sweep", "slice:fig5.threads", "--sweep", "count=4,8",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '{"count":4}' in out and '{"count":8}' in out
+        assert "2 specs" in out
+
+    def test_sweep_subcommand_rejects_unknown_target(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "bogus-target", "--cache-dir", str(tmp_path)])

@@ -1,0 +1,56 @@
+"""LinkConfig hot-path micro-opt: derived rates precomputed in __init__.
+
+``serialization_time`` runs once per frame in every link pump; the
+derived rates it reads must be computed once at construction, and the
+precomputation must be *bit-identical* to the original property-chain
+arithmetic so no simulated timestamp moves.
+"""
+
+import pytest
+
+from repro.net.link import AURORA_OVERHEAD, SERDES_CROSSING_S, LinkConfig
+
+
+class TestPrecomputedRates:
+    def test_values_match_defining_formulas(self):
+        config = LinkConfig(lanes=4, lane_gbps=25.0)
+        assert config.raw_bits_per_s == 4 * 25.0 * 1e9
+        assert config.payload_bits_per_s == (4 * 25.0 * 1e9) / AURORA_OVERHEAD
+        assert config.flight_latency_s == SERDES_CROSSING_S + 15e-9
+
+    def test_serialization_time_bit_identical_to_property_chain(self):
+        for lanes, gbps, overhead in ((4, 25.0, AURORA_OVERHEAD),
+                                      (1, 1.0, AURORA_OVERHEAD),
+                                      (8, 53.125, 1.03)):
+            config = LinkConfig(lanes=lanes, lane_gbps=gbps,
+                                coding_overhead=overhead)
+            reference_rate = (lanes * gbps * 1e9) / overhead
+            for size in (1, 64, 128, 4096, 65536):
+                # Exact float equality on purpose: the same operations
+                # in the same order must produce the same bits.
+                assert config.serialization_time(size) == (
+                    size * 8 / reference_rate
+                )
+
+    def test_rates_are_attributes_not_recomputed(self):
+        config = LinkConfig()
+        assert "_raw_bits_per_s" in vars(config)
+        assert "_payload_bits_per_s" in vars(config)
+        assert "_flight_latency_s" in vars(config)
+        assert config.raw_bits_per_s is config.__dict__["_raw_bits_per_s"]
+
+    def test_custom_parameters_still_derive(self):
+        config = LinkConfig(lanes=2, lane_gbps=10.0,
+                            cable_propagation_s=5e-9,
+                            serdes_crossing_s=1e-9,
+                            coding_overhead=2.0)
+        assert config.raw_bits_per_s == 20e9
+        assert config.payload_bits_per_s == 10e9
+        assert config.flight_latency_s == pytest.approx(6e-9)
+        assert config.serialization_time(1250) == pytest.approx(1e-6)
+
+    def test_validation_unchanged(self):
+        with pytest.raises(ValueError):
+            LinkConfig(lanes=0)
+        with pytest.raises(ValueError):
+            LinkConfig(lane_gbps=0)
