@@ -1,22 +1,44 @@
 #!/usr/bin/env python3
-"""Reliability and security: lossy links, replay, and the REST plane.
+"""Resilience: lossy links, fault campaigns, failover, and chaos runs.
 
-Demonstrates the parts of the stack the headline numbers take for
-granted:
+Demonstrates the failure half of the stack, bottom to top:
 
 1. the LLC's frame-replay protocol keeping a lossy 100 Gb/s channel
    *functionally perfect* (every cacheline survives);
 2. credit backpressure under a tiny receive queue;
-3. the control plane's REST interface and token security.
+3. the control plane's REST interface and token security — errors now
+   arrive as versioned ``{"error", "code"}`` bodies;
+4. the REST resilience surface: ``GET /v1/health`` and
+   ``POST /v1/faults`` arming a named fault campaign over HTTP;
+5. control-plane self-healing: a link-kill campaign severs the
+   lender's fault domain mid-workload, the health monitor fails the
+   attachment over to a surviving lender, and the borrower-side write
+   journal replays the buffer byte for byte;
+6. the chaos CLI end to end: ``python -m repro chaos`` run twice with
+   the same seed produces byte-identical result artifacts.
 
 Run:  python examples/failure_injection.py
 """
 
-from repro.control import RestApi, Role
-from repro.core import LlcConfig
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import repro
+from repro.control import HealthMonitor, RestApi, Role
+from repro.core import LlcConfig, RetryPolicy
+from repro.errors import RemoteMemoryError
 from repro.mem import CACHELINE_BYTES, MIB
 from repro.net import FaultInjector
-from repro.testbed import Testbed
+from repro.resilience import (
+    LinkKill,
+    ResilientBuffer,
+    ensure_injector,
+    make_rest_fault_hook,
+)
+from repro.testbed import RackTestbed, Testbed
 
 
 def lossy_link_demo() -> None:
@@ -80,14 +102,14 @@ def rest_security_demo() -> None:
     status, body = api.handle("POST", "/v1/attachments",
                               {"compute_host": "node0", "size": 1 * MIB})
     print(f"POST /v1/attachments without a token  -> {status} "
-          f"({body['error']})")
+          f"[{body['code']}] {body['error']}")
 
     viewer = testbed.plane.acl.issue_token(Role.VIEWER)
     status, body = api.handle("POST", "/v1/attachments",
                               {"compute_host": "node0", "size": 1 * MIB},
                               token=viewer)
     print(f"POST as viewer                        -> {status} "
-          f"({body['error']})")
+          f"[{body['code']}] {body['error']}")
 
     operator = testbed.plane.acl.issue_token(Role.OPERATOR)
     status, body = api.handle(
@@ -109,10 +131,118 @@ def rest_security_demo() -> None:
     print(f"DELETE as operator                    -> {status}")
 
 
+def rest_resilience_demo() -> None:
+    print("\n== 4. REST resilience surface: /v1/health, /v1/faults ==")
+    rack = RackTestbed(nodes=3, channels_per_node=2)
+    attachment = rack.attach("node0", 2 * MIB, memory_host="node1")
+    monitor = HealthMonitor(rack)
+    monitor.watch(attachment)
+    api = RestApi(rack.plane, monitor=monitor,
+                  fault_hook=make_rest_fault_hook(rack))
+
+    status, body = api.handle("GET", "/v1/health", token=rack.admin_token)
+    print(f"GET  /v1/health          -> {status} status={body['status']} "
+          f"({len(body['attachments'])} watched attachment(s))")
+
+    status, body = api.handle(
+        "POST", "/v1/faults",
+        {"campaign": "link-flap",
+         "attachment": attachment.attachment_id,
+         "at_s": 1e-6, "duration_s": 5e-6},
+        token=rack.admin_token,
+    )
+    print(f"POST /v1/faults          -> {status} injected "
+          f"{body['injected']!r} against {body['target_host']} "
+          f"({len(body['links'])} links in the fault domain)")
+
+    status, body = api.handle(
+        "POST", "/v1/faults",
+        {"campaign": "meteor-strike",
+         "attachment": attachment.attachment_id},
+        token=rack.admin_token,
+    )
+    print(f"POST (unknown campaign)  -> {status} [{body['code']}]")
+
+    status, body = api.handle("GET", "/v1/health", token=None)
+    print(f"GET  /v1/health no token -> {status} [{body['code']}]")
+
+
+def failover_demo() -> None:
+    print("\n== 5. Lender death and monitored failover ==")
+    rack = RackTestbed(nodes=3, channels_per_node=2)
+    attachment = rack.attach("node0", 1 * MIB, memory_host="node1")
+    endpoint = rack.node("node0").device.compute
+    endpoint.transaction_timeout_s = 20e-6
+    endpoint.retry_policy = RetryPolicy(max_attempts=3)
+
+    buffer = ResilientBuffer.attach_buffer(rack, attachment, size=64 * 1024)
+    monitor = HealthMonitor(rack)
+    monitor.watch(attachment, buffer=buffer)
+
+    payload = bytes(range(256)) * 256  # 64 KiB
+    buffer.write(0, payload[: 32 * 1024])
+    print(f"wrote 32 KiB to the node1-backed buffer "
+          f"(journal holds {buffer.journal.dirty_bytes} dirty bytes)")
+
+    LinkKill(at_s=5e-6).arm(
+        rack.sim,
+        [ensure_injector(link) for link in rack.links_of("node1")],
+    )
+    print("armed link-kill campaign on node1's fault domain...")
+
+    try:
+        buffer.write(32 * 1024, payload[32 * 1024:])
+        raise SystemExit("link kill never fired?!")
+    except RemoteMemoryError as error:
+        print(f"write failed as expected: [{error.code}] after "
+              f"{error.details['attempts']} attempts")
+
+    report = monitor.failover(attachment.attachment_id)
+    print(f"failover: attachment #{report.old_attachment_id} "
+          f"({report.old_memory_host}) -> "
+          f"#{report.new_attachment.attachment_id} "
+          f"({report.new_memory_host}) in "
+          f"{report.recovery_time_s * 1e6:.1f} us, "
+          f"{report.replayed_bytes} bytes replayed from the journal")
+
+    buffer.write(32 * 1024, payload[32 * 1024:])
+    survived = buffer.read(0, len(payload)) == payload
+    print(f"post-failover contents byte-identical: {survived}")
+
+
+def chaos_cli_demo() -> None:
+    print("\n== 6. Chaos CLI: two seeded runs, byte-identical ==")
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory() as tmp:
+        blobs = []
+        for run in ("a", "b"):
+            out = os.path.join(tmp, run)
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "chaos",
+                 "link-kill-failover", "--seed", "7", "--out", out],
+                capture_output=True, text=True, env=env, timeout=240,
+            )
+            if result.returncode != 0:
+                raise SystemExit(f"chaos CLI failed:\n{result.stderr}")
+            print("  " + result.stdout.strip().splitlines()[0])
+            path = os.path.join(out, "chaos-link-kill-failover.json")
+            with open(path) as handle:
+                blobs.append(handle.read())
+        identical = blobs[0] == blobs[1]
+        metrics = len(json.loads(blobs[0])["metrics"])
+        print(f"artifacts byte-identical across runs: {identical} "
+              f"({metrics} metrics diffed)")
+
+
 def main() -> None:
     lossy_link_demo()
     backpressure_demo()
     rest_security_demo()
+    rest_resilience_demo()
+    failover_demo()
+    chaos_cli_demo()
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Usage::
     python -m repro figures --jobs auto  # parallel + cached regeneration
     python -m repro sweep slice:fig8.config --sweep kind=local,scale-out \\
         --set samples=30000              # fan a target out over a grid
+    python -m repro chaos link-kill-failover --seed 7 --out chaos-artifacts
 """
 
 from __future__ import annotations
@@ -401,6 +402,71 @@ def _run_sweep(argv) -> int:
     return 0
 
 
+# -- chaos engineering -----------------------------------------------------------
+
+
+def _run_chaos(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Run one deterministic fault-recovery scenario (seeded "
+            "campaigns, monitored failover, journal replay) and print "
+            "its verdict; optionally write the full JSON result with "
+            "a sorted metrics snapshot for byte-for-byte diffing."
+        ),
+    )
+    from .resilience import SCENARIOS
+
+    parser.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        nargs="?",
+        help="scenario to run",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="campaign/workload seed (same seed => identical metrics)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory for the chaos-<scenario>.json artifact",
+    )
+    args = parser.parse_args(argv)
+    if args.scenario is None:
+        parser.print_help()
+        return 0
+
+    from .resilience import run_scenario
+
+    result = run_scenario(args.scenario, seed=args.seed)
+    verdict = "OK" if result["verified"] else "FAILED"
+    print(f"chaos {args.scenario} (seed {args.seed}): {verdict}")
+    for key in ("failed_at_offset", "failovers", "endpoint_retries",
+                "frames_dropped", "drained_at_s"):
+        if key in result:
+            print(f"  {key:18s} {result[key]}")
+    if "report" in result:
+        report = result["report"]
+        print(
+            f"  failover           #{report['old_attachment']} "
+            f"({report['old_memory_host']}) -> "
+            f"#{report['new_attachment']} ({report['new_memory_host']}) "
+            f"in {report['recovery_time_s'] * 1e6:.1f} us, "
+            f"{report['replayed_bytes']} bytes replayed"
+        )
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"chaos-{args.scenario}.json")
+        with open(path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result json : {path}")
+    return 0 if result["verified"] else 1
+
+
 # -- entry point -----------------------------------------------------------------
 
 #: Subcommands with their own argv (dispatched before the main parser).
@@ -408,6 +474,7 @@ _SUBCOMMANDS = {
     "trace": _run_trace,
     "figures": _run_figures,
     "sweep": _run_sweep,
+    "chaos": _run_chaos,
 }
 
 
@@ -438,6 +505,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "sweep",
         help="fan a target out over a parameter grid (--sweep k=v1,v2)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "chaos",
+        help="deterministic fault-recovery scenario (--seed N, --out DIR)",
         add_help=False,
     )
     return parser

@@ -2,7 +2,13 @@
 
 from .api import RestApi
 from .graph import GraphError, NodeKind, StateGraph
-from .orchestrator import Attachment, ControlPlane, OrchestrationError
+from .health import FailoverReport, HealthMonitor, HealthState
+from .orchestrator import (
+    Attachment,
+    ControlPlane,
+    OrchestrationError,
+    UnknownAttachmentError,
+)
 from .planner import NoPathError, PathPlanner, PlannedPath
 from .security import (
     AccessControl,
@@ -17,6 +23,10 @@ __all__ = [
     "ControlPlane",
     "Attachment",
     "OrchestrationError",
+    "UnknownAttachmentError",
+    "HealthMonitor",
+    "HealthState",
+    "FailoverReport",
     "StateGraph",
     "NodeKind",
     "GraphError",

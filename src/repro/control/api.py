@@ -5,22 +5,31 @@ via a REST API." This module shapes the orchestrator as an HTTP-ish
 request handler (method, path, body, bearer token) → (status, body)
 without binding a socket, so tests and examples drive the exact same
 surface an administrator or a cloud-orchestration plugin would.
+
+Error contract: every error body is the versioned shape
+``{"error": <human text>, "code": <machine-readable slug>}``. Domain
+exceptions all derive from :class:`~repro.errors.ReproError`; their
+``code`` maps to an HTTP status through the single
+:data:`~repro.errors.HTTP_STATUS_BY_CODE` table — no message matching.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from ..mem.address import AddressError
-from .graph import GraphError
-from .orchestrator import ControlPlane, OrchestrationError
-from .planner import NoPathError
-from .security import AuthError
+from ..errors import ReproError, http_status_for
+from .orchestrator import ControlPlane
+from .security import Permission
 
 __all__ = ["RestApi"]
 
 _ATTACHMENT_PATH = re.compile(r"^/v1/attachments/(\d+)$")
+
+#: ``fault_hook(campaign, attachment_id, params) -> description dict``;
+#: installed by the resilience layer to arm chaos campaigns via POST
+#: /v1/faults (the plane itself knows nothing about injectors).
+FaultHook = Callable[[str, int, Dict], Dict]
 
 
 class RestApi:
@@ -29,15 +38,28 @@ class RestApi:
     Routes::
 
         GET    /v1/state
+        GET    /v1/health         (health monitor summary, if wired)
         GET    /v1/attachments
         POST   /v1/attachments    {"compute_host", "size",
                                    ["memory_host"], ["bonded"]}
         GET    /v1/attachments/<id>
-        DELETE /v1/attachments/<id>
+        DELETE /v1/attachments/<id>   [?force]
+        POST   /v1/faults         {"campaign", "attachment", ...params}
+
+    ``monitor`` (a :class:`~repro.control.health.HealthMonitor`) backs
+    ``/v1/health``; ``fault_hook`` backs ``/v1/faults``. Both are
+    optional — unwired routes answer with a structured 503.
     """
 
-    def __init__(self, plane: ControlPlane):
+    def __init__(
+        self,
+        plane: ControlPlane,
+        monitor: Optional[object] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ):
         self.plane = plane
+        self.monitor = monitor
+        self.fault_hook = fault_hook
 
     def handle(
         self,
@@ -49,16 +71,13 @@ class RestApi:
         """Dispatch one request; returns (status code, response body)."""
         try:
             return self._route(method.upper(), path, body or {}, token)
-        except AuthError as exc:
-            return 401, {"error": str(exc)}
-        except (NoPathError, GraphError) as exc:
-            return 409, {"error": str(exc)}
-        except OrchestrationError as exc:
-            message = str(exc)
-            status = 404 if "unknown attachment" in message else 409
-            return status, {"error": message}
-        except (AddressError, MemoryError, ValueError, KeyError) as exc:
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except ReproError as exc:
+            return http_status_for(exc.code), exc.describe()
+        except (MemoryError, ValueError, KeyError) as exc:
+            return 400, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "code": "request/invalid",
+            }
 
     # -- routing -------------------------------------------------------------------
     def _route(
@@ -66,6 +85,12 @@ class RestApi:
     ) -> Tuple[int, Dict]:
         if path == "/v1/state" and method == "GET":
             return 200, {"state": self.plane.system_state(token=token)}
+
+        if path == "/v1/health" and method == "GET":
+            return self._health(token)
+
+        if path == "/v1/faults" and method == "POST":
+            return self._inject_fault(body, token)
 
         if path == "/v1/attachments":
             if method == "GET":
@@ -76,7 +101,7 @@ class RestApi:
                 }
             if method == "POST":
                 return self._create(body, token)
-            return 405, {"error": f"{method} not allowed on {path}"}
+            return self._method_not_allowed(method, path)
 
         match = _ATTACHMENT_PATH.match(path)
         if match:
@@ -85,20 +110,40 @@ class RestApi:
                 attachment = self.plane.attachment(attachment_id, token=token)
                 return 200, attachment.describe()
             if method == "DELETE":
-                self.plane.detach(attachment_id, token=token)
+                self.plane.detach(
+                    attachment_id,
+                    token=token,
+                    force=bool(body.get("force", False)),
+                )
                 return 204, {}
-            return 405, {"error": f"{method} not allowed on {path}"}
+            return self._method_not_allowed(method, path)
 
-        return 404, {"error": f"no route for {method} {path}"}
+        return 404, {
+            "error": f"no route for {method} {path}",
+            "code": "request/no-route",
+        }
+
+    @staticmethod
+    def _method_not_allowed(method: str, path: str) -> Tuple[int, Dict]:
+        return 405, {
+            "error": f"{method} not allowed on {path}",
+            "code": "request/method-not-allowed",
+        }
 
     def _create(self, body: Dict, token: Optional[str]) -> Tuple[int, Dict]:
         try:
             compute_host = body["compute_host"]
             size = int(body["size"])
         except KeyError as exc:
-            return 400, {"error": f"missing field {exc}"}
+            return 400, {
+                "error": f"missing field {exc}",
+                "code": "request/invalid",
+            }
         if size <= 0:
-            return 400, {"error": f"size must be > 0, got {size}"}
+            return 400, {
+                "error": f"size must be > 0, got {size}",
+                "code": "request/invalid",
+            }
         attachment = self.plane.attach(
             compute_host,
             size,
@@ -107,3 +152,35 @@ class RestApi:
             token=token,
         )
         return 201, attachment.describe()
+
+    # -- resilience surface ---------------------------------------------------------
+    def _health(self, token: Optional[str]) -> Tuple[int, Dict]:
+        self.plane.acl.require(token, Permission.READ_STATE)
+        if self.monitor is None:
+            return 200, {"status": "unmonitored", "attachments": []}
+        return 200, self.monitor.describe()
+
+    def _inject_fault(
+        self, body: Dict, token: Optional[str]
+    ) -> Tuple[int, Dict]:
+        self.plane.acl.require(token, Permission.ATTACH)
+        if self.fault_hook is None:
+            return 503, {
+                "error": "no fault-injection hook installed",
+                "code": "resilience/no-injector",
+            }
+        try:
+            campaign = body["campaign"]
+            attachment_id = int(body["attachment"])
+        except KeyError as exc:
+            return 400, {
+                "error": f"missing field {exc}",
+                "code": "request/invalid",
+            }
+        params = {
+            key: value
+            for key, value in body.items()
+            if key not in ("campaign", "attachment")
+        }
+        description = self.fault_hook(campaign, attachment_id, params)
+        return 202, {"injected": campaign, **description}

@@ -15,13 +15,17 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..errors import ReproError
+
 import networkx as nx
 
 __all__ = ["NodeKind", "StateGraph", "GraphError"]
 
 
-class GraphError(RuntimeError):
+class GraphError(ReproError, RuntimeError):
     """Inconsistent wiring or unknown graph elements."""
+
+    code = "graph/inconsistent"
 
 
 class NodeKind(enum.Enum):

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.flow import ActiveFlow, FlowTable
+from ..errors import ReproError
 from ..mem.address import AddressError, AddressRange, AddressSpaceAllocator
 from ..mem.numa import LOCAL_DISTANCE
 from ..osmodel.agent import AttachPlan, StealGrant, ThymesisFlowAgent
@@ -26,7 +27,12 @@ from .planner import NoPathError, PathPlanner, PlannedPath
 from .security import AccessControl, AuthError, Permission, PlaneTrust, Role
 from .switching import SwitchDriver, extract_switch_hops
 
-__all__ = ["ControlPlane", "Attachment", "OrchestrationError"]
+__all__ = [
+    "ControlPlane",
+    "Attachment",
+    "OrchestrationError",
+    "UnknownAttachmentError",
+]
 
 #: Unloaded single-hop remote access latency (measured prototype RTT).
 BASE_REMOTE_LATENCY_S = 950e-9
@@ -41,8 +47,20 @@ LOCAL_DRAM_LATENCY_S = 85e-9
 REMOTE_NODE_ID_BASE = 100
 
 
-class OrchestrationError(RuntimeError):
+class OrchestrationError(ReproError, RuntimeError):
     """Attach/detach workflow failure."""
+
+    code = "control/orchestration"
+
+
+class UnknownAttachmentError(OrchestrationError):
+    """Lookup of an attachment id that does not exist (or was detached).
+
+    A dedicated type (and code) so the REST layer maps it to 404 from
+    the status table instead of string-matching the message.
+    """
+
+    code = "control/unknown-attachment"
 
 
 @dataclass
@@ -240,27 +258,84 @@ class ControlPlane:
         )
         return attachment
 
-    def detach(self, attachment_id: int, token: Optional[str] = None) -> None:
-        """Tear an attachment down (reverse order of attach)."""
+    def detach(
+        self,
+        attachment_id: int,
+        token: Optional[str] = None,
+        force: bool = False,
+    ) -> None:
+        """Tear an attachment down (reverse order of attach).
+
+        ``force=True`` is the failover path: donor-side steps that
+        cannot complete (the lender crashed, the path to it is dark)
+        are tolerated and logged instead of aborting — the plane's
+        bookkeeping must converge even when the far side is gone. Both
+        sides' LLC channels are then quiesced so no retention timer
+        keeps replaying frames for a flow that no longer exists.
+        """
         self.acl.require(token, Permission.DETACH)
         try:
             attachment = self._attachments.pop(attachment_id)
         except KeyError:
-            raise OrchestrationError(
-                f"unknown attachment {attachment_id}"
+            raise UnknownAttachmentError(
+                f"unknown attachment {attachment_id}",
+                attachment_id=attachment_id,
             ) from None
         record = self._host(attachment.compute_host)
         donor = self._host(attachment.memory_host)
         record.agent.detach_remote_memory(attachment.plan)
-        self._teardown_switches(attachment.path)
-        donor.agent.release_grant(attachment.grant)
+        if force:
+            try:
+                self._teardown_switches(attachment.path)
+            except Exception as exc:  # crashed fabric state
+                self.audit_log.append(
+                    f"detach #{attachment_id}: switch teardown failed "
+                    f"under force ({exc})"
+                )
+            try:
+                donor.agent.release_grant(attachment.grant)
+            except Exception as exc:  # crashed lender: grant leaks
+                self.audit_log.append(
+                    f"detach #{attachment_id}: grant "
+                    f"{attachment.grant.grant_id} leaked on "
+                    f"{attachment.memory_host} ({exc})"
+                )
+        else:
+            self._teardown_switches(attachment.path)
+            donor.agent.release_grant(attachment.grant)
         self.flows.release(attachment.flow.network_id)
         record.section_pool.free(attachment.section_run)
         self.state.release_donor_memory(
             attachment.memory_host, attachment.size
         )
         self.planner.release(attachment.path)
-        self.audit_log.append(f"detach #{attachment_id}")
+        if force:
+            self._quiesce_attachment_llcs(attachment)
+        self.audit_log.append(
+            f"detach #{attachment_id}" + (" (forced)" if force else "")
+        )
+
+    def _quiesce_attachment_llcs(self, attachment: Attachment) -> None:
+        """Reset both sides' LLC channels after a forced detach.
+
+        A permanently dead link leaves unacknowledged frames in both
+        LLCs' retention buffers, whose replay timers would re-arm
+        forever; resetting the channels (the firmware link-down path)
+        drops that state so the simulation quiesces.
+        """
+        compute_device = self._host(attachment.compute_host).agent.device
+        donor_device = self._host(attachment.memory_host).agent.device
+        for channel in attachment.flow.channels:
+            if channel < len(compute_device.llcs):
+                compute_device.llcs[channel].reset_link()
+        for node_path in attachment.path.node_paths:
+            donor_xcvr = node_path[-2]
+            try:
+                channel = self.state.node_attr(donor_xcvr, "channel")
+            except GraphError:
+                continue
+            if channel < len(donor_device.llcs):
+                donor_device.llcs[channel].reset_link()
 
     # -- queries --------------------------------------------------------------------------
     def attachments(self, token: Optional[str] = None) -> List[Attachment]:
@@ -273,8 +348,9 @@ class ControlPlane:
         try:
             return self._attachments[attachment_id]
         except KeyError:
-            raise OrchestrationError(
-                f"unknown attachment {attachment_id}"
+            raise UnknownAttachmentError(
+                f"unknown attachment {attachment_id}",
+                attachment_id=attachment_id,
             ) from None
 
     def system_state(self, token: Optional[str] = None) -> Dict:

@@ -27,6 +27,8 @@ __all__ = ["PathPlanner", "PlannedPath", "NoPathError"]
 class NoPathError(GraphError):
     """No usable path between the requested endpoints."""
 
+    code = "graph/no-path"
+
 
 @dataclass(frozen=True)
 class PlannedPath:

@@ -19,11 +19,15 @@ import secrets
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional
 
+from ..errors import ReproError
+
 __all__ = ["Role", "Permission", "AccessControl", "AuthError", "PlaneTrust"]
 
 
-class AuthError(PermissionError):
+class AuthError(ReproError, PermissionError):
     """Missing, unknown or under-privileged credential."""
+
+    code = "auth/denied"
 
 
 class Permission(enum.Enum):

@@ -1,7 +1,12 @@
 """The ThymesisFlow datapath: RMMU, LLC, routing, endpoints, device."""
 
 from .device import ThymesisFlowDevice
-from .endpoints import ComputeEndpoint, EndpointError, MemoryStealingEndpoint
+from .endpoints import (
+    ComputeEndpoint,
+    EndpointError,
+    MemoryStealingEndpoint,
+    RetryPolicy,
+)
 from .hbm import HbmCache, HbmCacheConfig
 from .flow import (
     BONDING_FLAG,
@@ -22,6 +27,7 @@ __all__ = [
     "HbmCacheConfig",
     "MemoryStealingEndpoint",
     "EndpointError",
+    "RetryPolicy",
     "ActiveFlow",
     "FlowTable",
     "FlowError",

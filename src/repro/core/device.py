@@ -23,7 +23,12 @@ from ..opencapi.pasid import PasidRegistry
 from ..opencapi.ports import OpenCapiC1Port, OpenCapiM1Port
 from ..opencapi.transactions import MemTransaction
 from ..sim.engine import Simulator
-from .endpoints import ComputeEndpoint, EndpointError, MemoryStealingEndpoint
+from .endpoints import (
+    ComputeEndpoint,
+    EndpointError,
+    MemoryStealingEndpoint,
+    RetryPolicy,
+)
 from .hbm import HbmCache, HbmCacheConfig
 from .llc import LlcConfig, LlcEndpoint
 from .rmmu import Rmmu
@@ -58,6 +63,7 @@ class ThymesisFlowDevice:
         max_channels: int = MAX_CHANNELS,
         host_crossing_s: Optional[float] = None,
         transaction_timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.name = name
@@ -78,6 +84,7 @@ class ThymesisFlowDevice:
             self.routing,
             name=f"{name}.compute",
             transaction_timeout_s=transaction_timeout_s,
+            retry_policy=retry_policy,
         )
         self.memory: Optional[MemoryStealingEndpoint] = None
         self.m1_port: Optional[OpenCapiM1Port] = None

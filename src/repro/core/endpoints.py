@@ -15,8 +15,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
 
+from ..errors import RemoteMemoryError
 from ..mem.address import AddressRange, CACHELINE_BYTES
 from ..obs import trace as _trace
 from ..opencapi.ports import OpenCapiC1Port
@@ -27,11 +29,51 @@ from .hbm import HbmCache
 from .rmmu import Rmmu, RmmuFault
 from .routing import RoutingLayer
 
-__all__ = ["ComputeEndpoint", "MemoryStealingEndpoint", "EndpointError"]
+__all__ = [
+    "ComputeEndpoint",
+    "MemoryStealingEndpoint",
+    "EndpointError",
+    "RetryPolicy",
+]
 
 
 class EndpointError(RuntimeError):
     """Endpoint misconfiguration (datapath errors become bus responses)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for watchdog-expired transactions.
+
+    Attempt ``k`` (zero-based) that times out is retried after
+    ``min(backoff_base_s * multiplier**k, backoff_max_s)`` of simulated
+    time, up to ``max_attempts`` total attempts. After exhaustion the
+    endpoint raises :class:`~repro.errors.RemoteMemoryError` — a
+    structured failure the resilience layer can act on — instead of
+    retrying forever or hanging the event loop.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 2e-6
+    multiplier: float = 2.0
+    backoff_max_s: float = 100e-6
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+
+    def backoff_s(self, failed_attempts: int) -> float:
+        """Delay before the retry following ``failed_attempts`` misses."""
+        delay = self.backoff_base_s * self.multiplier ** max(
+            0, failed_attempts - 1
+        )
+        return min(delay, self.backoff_max_s)
 
 
 class ComputeEndpoint:
@@ -51,6 +93,7 @@ class ComputeEndpoint:
         routing: RoutingLayer,
         name: str = "compute-ep",
         transaction_timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.rmmu = rmmu
@@ -59,6 +102,12 @@ class ComputeEndpoint:
         #: When set, an outstanding transaction older than this is failed
         #: back to the bus (donor crash / unrecoverable link loss).
         self.transaction_timeout_s = transaction_timeout_s
+        #: When set (together with ``transaction_timeout_s``), expired
+        #: transactions are retried with fresh ids under exponential
+        #: backoff; exhaustion raises :class:`RemoteMemoryError`. With
+        #: no policy the endpoint keeps its legacy single-attempt
+        #: behaviour (timeout -> ``ResponseCode.RETRY`` bus response).
+        self.retry_policy = retry_policy
         self.window: Optional[AddressRange] = None
         self.hbm: Optional[HbmCache] = None
         self._outstanding: Dict[int, Signal] = {}
@@ -67,11 +116,19 @@ class ComputeEndpoint:
         #: donor's per-frame serves complete; the request's signal fires
         #: when the last line lands.
         self._bulk_rx: Dict[int, dict] = {}
+        #: Called with ``(endpoint, RemoteMemoryError)`` when a
+        #: transaction exhausts its retry budget — the health monitor's
+        #: failure-detection signal.
+        self._failure_listeners: List[
+            Callable[["ComputeEndpoint", RemoteMemoryError], None]
+        ] = []
         self.rtt = LatencyRecorder(f"{name}.rtt")
         self.requests = 0
         self.hbm_hits = 0
         self.fault_responses = 0
         self.timeouts = 0
+        self.retries = 0
+        self.retries_exhausted = 0
 
     def assign_window(self, window: AddressRange) -> None:
         """Firmware assigns the real-address window backing this device."""
@@ -127,6 +184,68 @@ class ComputeEndpoint:
             )
         outbound = txn.with_address(remote_address)
         outbound.network_id = network_id
+        policy = self.retry_policy
+        attempts = (
+            policy.max_attempts
+            if policy is not None and self.transaction_timeout_s is not None
+            else 1
+        )
+        response = None
+        for attempt in range(attempts):
+            if attempt:
+                # Backoff, then re-send under fresh transaction ids so a
+                # straggler response to the timed-out attempt cannot be
+                # confused with (or double-complete) the retry.
+                delay = policy.backoff_s(attempt)
+                if delay > 0:
+                    yield delay
+                outbound = outbound.reissue()
+                self.retries += txn.burst
+                if _trace.ENABLED:
+                    _trace.txn_mark(
+                        self.sim.now, txn.base_txn_id, "endpoint.retry",
+                        self.name,
+                    )
+            response = yield from self._attempt(outbound, started)
+            if response is not None:
+                break
+            # Watchdog fired: the donor (or every path to it) is gone.
+            self.timeouts += txn.burst
+        if response is None:
+            if policy is None:
+                return txn.make_response(code=ResponseCode.RETRY)
+            self.retries_exhausted += txn.burst
+            error = RemoteMemoryError(
+                f"{self.name}: transaction {txn.base_txn_id} to network "
+                f"{outbound.network_id:#x} failed after {attempts} "
+                f"attempts ({self.sim.now - started:.2e}s)",
+                endpoint=self.name,
+                network_id=outbound.network_id,
+                txn_id=txn.base_txn_id,
+                attempts=attempts,
+                elapsed_s=self.sim.now - started,
+            )
+            for listener in self._failure_listeners:
+                listener(self, error)
+            raise error
+        if txn.burst == 1:
+            # Burst round-trips are recorded per line as each response
+            # segment arrives (see deliver_response).
+            self.rtt.add(self.sim.now - started)
+        if self.hbm is not None:
+            if txn.burst > 1:
+                if txn.command.name == "WRITE_MEM":
+                    self.hbm.invalidate_range(internal_address, txn.size)
+            elif txn.command.name == "RD_MEM" and response.data is not None:
+                self.hbm.fill(internal_address, response.data)
+            elif txn.command.name == "WRITE_MEM" and txn.data is not None:
+                self.hbm.write_through(internal_address, txn.data)
+        return response
+
+    def _attempt(
+        self, outbound: MemTransaction, started: float
+    ) -> Generator:
+        """Send one attempt and wait for its response (None = expired)."""
         done = Signal(name=f"{self.name}.txn{outbound.txn_id}", oneshot=True)
         self._outstanding[outbound.txn_id] = done
         if outbound.burst > 1:
@@ -147,23 +266,14 @@ class ComputeEndpoint:
             )
         yield self.routing.forward(outbound)
         response = yield done
-        if response is None:
-            # Watchdog fired: the donor (or every path to it) is gone.
-            self.timeouts += txn.burst
-            return txn.make_response(code=ResponseCode.RETRY)
-        if txn.burst == 1:
-            # Burst round-trips are recorded per line as each response
-            # segment arrives (see deliver_response).
-            self.rtt.add(self.sim.now - started)
-        if self.hbm is not None:
-            if txn.burst > 1:
-                if txn.command.name == "WRITE_MEM":
-                    self.hbm.invalidate_range(internal_address, txn.size)
-            elif txn.command.name == "RD_MEM" and response.data is not None:
-                self.hbm.fill(internal_address, response.data)
-            elif txn.command.name == "WRITE_MEM" and txn.data is not None:
-                self.hbm.write_through(internal_address, txn.data)
         return response
+
+    def add_failure_listener(
+        self,
+        listener: Callable[["ComputeEndpoint", RemoteMemoryError], None],
+    ) -> None:
+        """Subscribe to retry-exhaustion events (health monitoring)."""
+        self._failure_listeners.append(listener)
 
     def register_metrics(self, registry, **labels) -> None:
         """Pull collector: request mix, HBM hits, faults, RTT stats."""
@@ -176,6 +286,10 @@ class ComputeEndpoint:
                 self.fault_responses
             )
             reg.gauge("endpoint.timeouts", **base).set(self.timeouts)
+            reg.gauge("endpoint.retries", **base).set(self.retries)
+            reg.gauge("endpoint.retries_exhausted", **base).set(
+                self.retries_exhausted
+            )
             reg.gauge("endpoint.outstanding", **base).set(
                 len(self._outstanding)
             )

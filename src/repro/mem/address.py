@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from ..errors import ReproError
+
 __all__ = [
     "CACHELINE_BYTES",
     "DEFAULT_SECTION_BYTES",
@@ -43,8 +45,10 @@ CACHELINE_BYTES = 128
 DEFAULT_SECTION_BYTES = 256 * MIB
 
 
-class AddressError(ValueError):
+class AddressError(ReproError, ValueError):
     """Raised for invalid address arithmetic or exhausted windows."""
+
+    code = "mem/address"
 
 
 def _check_alignment(value: int, alignment: int, what: str) -> None:

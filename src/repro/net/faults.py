@@ -51,6 +51,10 @@ class FaultInjector:
         self.corrupt_probability = corrupt_probability
         self._forced_drops = 0
         self._forced_corruptions = 0
+        #: Link-down state: while set, *every* frame is dropped — the
+        #: macro-fault (dead cable, crashed peer) the campaign layer
+        #: schedules, as opposed to per-frame Bernoulli noise.
+        self.down = False
         self.frames_seen = 0
         self.frames_dropped = 0
         self.frames_corrupted = 0
@@ -58,6 +62,8 @@ class FaultInjector:
         #: pending ``force_*_next`` counts still waiting for traffic).
         self.forced_drops_applied = 0
         self.forced_corruptions_applied = 0
+        #: Frames swallowed while the link was down.
+        self.frames_dropped_down = 0
 
     def force_drop_next(self, count: int = 1) -> None:
         self._forced_drops += count
@@ -65,9 +71,25 @@ class FaultInjector:
     def force_corrupt_next(self, count: int = 1) -> None:
         self._forced_corruptions += count
 
+    def set_down(self, down: bool = True) -> None:
+        """Kill (or revive) the link; scheduled by fault campaigns."""
+        self.down = down
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Adjust the Bernoulli drop rate (brownout campaigns)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {probability}"
+            )
+        self.drop_probability = probability
+
     def decide(self) -> FaultDecision:
         """Fate of the next frame crossing the link."""
         self.frames_seen += 1
+        if self.down:
+            self.frames_dropped += 1
+            self.frames_dropped_down += 1
+            return FaultDecision(drop=True)
         if self._forced_drops > 0:
             self._forced_drops -= 1
             self.forced_drops_applied += 1
@@ -100,7 +122,10 @@ class FaultInjector:
             "frames_corrupted": self.frames_corrupted,
             "forced_drops": self.forced_drops_applied,
             "forced_corruptions": self.forced_corruptions_applied,
-            "random_drops": self.frames_dropped - self.forced_drops_applied,
+            "down_drops": self.frames_dropped_down,
+            "random_drops": self.frames_dropped
+            - self.forced_drops_applied
+            - self.frames_dropped_down,
             "random_corruptions": (
                 self.frames_corrupted - self.forced_corruptions_applied
             ),

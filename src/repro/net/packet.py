@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
+from ..errors import ReproError
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 from ..sim.stats import RunningStats
@@ -26,8 +27,10 @@ from .link import SerialLink
 __all__ = ["PacketSwitch", "PacketSwitchError", "Addressed"]
 
 
-class PacketSwitchError(RuntimeError):
+class PacketSwitchError(ReproError, RuntimeError):
     """Invalid port wiring or addressing."""
+
+    code = "switch/packet-session"
 
 
 @dataclass

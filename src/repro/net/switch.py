@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, Tuple
 
+from ..errors import ReproError
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 from .link import SerialLink
@@ -20,8 +21,10 @@ from .link import SerialLink
 __all__ = ["CircuitSwitch", "SwitchError", "SwitchPort"]
 
 
-class SwitchError(RuntimeError):
+class SwitchError(ReproError, RuntimeError):
     """Invalid port wiring or circuit configuration."""
+
+    code = "switch/circuit"
 
 
 @dataclass

@@ -229,6 +229,23 @@ class MemTransaction:
         """Copy with a translated address (RMMU stages)."""
         return replace(self, address=address)
 
+    def reissue(self) -> "MemTransaction":
+        """Fresh-id copy of a request, for an endpoint-level retry.
+
+        Re-sending under the *same* id is unsafe on a slow-but-alive
+        link: both the original and the retried response could arrive,
+        and for bursts duplicate segments would double-decrement the
+        reassembly counter. A fresh id (a fresh consecutive run for
+        bursts) makes any straggler response to the old attempt an
+        unmatched id, which the endpoint already drops.
+        """
+        new_id = (
+            _reserve_txn_ids(self.burst)
+            if self.burst > 1
+            else _next_txn_id()
+        )
+        return replace(self, txn_id=new_id, burst_offset=0)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"MemTransaction({self.command.name}, id={self.txn_id}, "

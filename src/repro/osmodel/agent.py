@@ -81,6 +81,9 @@ class ThymesisFlowAgent:
         self._next_grant = 1
         self._attached: Dict[int, AttachPlan] = {}
         self._stealer_pasid: Optional[int] = None
+        #: Set by lender-crash fault campaigns: a crashed daemon stops
+        #: granting memory (existing grants die with the host's links).
+        self.crashed = False
         self.log: List[str] = []
 
     # ------------------------------------------------------------ donor side
@@ -93,6 +96,8 @@ class ThymesisFlowAgent:
         orchestration layer needs "to calculate the proper offsets to be
         applied by the compute endpoint RMMU".
         """
+        if self.crashed:
+            raise AgentError(f"{self.hostname}: agent crashed")
         section_bytes = self.kernel.section_bytes
         size = -(-size // section_bytes) * section_bytes
         pinned = self.kernel.pin_contiguous(size, self.donor_node_id)

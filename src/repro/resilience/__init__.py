@@ -1,0 +1,44 @@
+"""Fault campaigns, write journaling, and deterministic chaos scenarios.
+
+The resilience layer sits on top of the unified testbed surface
+(:class:`~repro.testbed.base.TestbedProtocol`): campaigns schedule
+macro-faults (link kill/flap, brownout, lender crash) against a host's
+fault domain, :class:`ResilientBuffer` journals writes so failover can
+replay them byte-for-byte, and the scenarios in
+:mod:`repro.resilience.scenarios` tie both to the
+:class:`~repro.control.health.HealthMonitor` into end-to-end,
+seed-deterministic recovery runs (also exposed as
+``python -m repro chaos``).
+"""
+
+from .campaigns import (
+    CAMPAIGNS,
+    Brownout,
+    FaultCampaign,
+    LenderCrash,
+    LinkFlap,
+    LinkKill,
+    UnknownCampaignError,
+    ensure_injector,
+    make_campaign,
+    make_rest_fault_hook,
+)
+from .journal import ResilientBuffer, WriteJournal
+from .scenarios import SCENARIOS, run_scenario
+
+__all__ = [
+    "FaultCampaign",
+    "LinkKill",
+    "LinkFlap",
+    "Brownout",
+    "LenderCrash",
+    "UnknownCampaignError",
+    "CAMPAIGNS",
+    "make_campaign",
+    "ensure_injector",
+    "make_rest_fault_hook",
+    "WriteJournal",
+    "ResilientBuffer",
+    "SCENARIOS",
+    "run_scenario",
+]

@@ -1,0 +1,188 @@
+"""Scheduled fault campaigns: macro-faults driven by the sim clock.
+
+A *campaign* is a declarative description of a macro-fault (a cable
+dies, a link flaps, a lender browns out or crashes) that, when armed,
+schedules deterministic state changes on a set of
+:class:`~repro.net.faults.FaultInjector` instances through the
+simulator's event queue. Campaigns are plain frozen dataclasses: the
+same campaign armed at the same sim time with the same seeded RNG
+produces the same event sequence, so chaos runs are reproducible and
+cacheable by :mod:`repro.sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Type
+
+from ..errors import ReproError
+from ..net.faults import FaultInjector
+from ..sim.rng import SeededRNG
+
+__all__ = [
+    "FaultCampaign",
+    "LinkKill",
+    "LinkFlap",
+    "Brownout",
+    "LenderCrash",
+    "UnknownCampaignError",
+    "CAMPAIGNS",
+    "make_campaign",
+    "ensure_injector",
+    "make_rest_fault_hook",
+]
+
+
+class UnknownCampaignError(ReproError, ValueError):
+    """Campaign name not in the catalogue."""
+
+    code = "resilience/unknown-campaign"
+
+
+def ensure_injector(
+    link, rng: Optional[SeededRNG] = None
+) -> FaultInjector:
+    """Install (or return) the fault injector on a serial link.
+
+    Links are built clean; campaigns graft the injector on after the
+    fact so fault domains can be targeted per-host at runtime.
+    """
+    if getattr(link, "faults", None) is None:
+        link.faults = FaultInjector(rng=rng)
+    return link.faults
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """Base: a fault armed ``at_s`` seconds of *sim delay* from now."""
+
+    at_s: float = 0.0
+
+    #: Catalogue key (subclasses override).
+    name = "noop"
+
+    def arm(self, sim, injectors: Iterable[FaultInjector],
+            agent=None) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> Dict:
+        return {"campaign": self.name, "at_s": self.at_s}
+
+
+@dataclass(frozen=True)
+class LinkKill(FaultCampaign):
+    """Permanent link death: every frame drops from ``at_s`` on."""
+
+    name = "link-kill"
+
+    def arm(self, sim, injectors, agent=None) -> None:
+        for injector in injectors:
+            sim.schedule(self.at_s, injector.set_down, True)
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultCampaign):
+    """Transient outage: down at ``at_s``, back up ``duration_s`` later."""
+
+    duration_s: float = 10e-6
+    name = "link-flap"
+
+    def arm(self, sim, injectors, agent=None) -> None:
+        for injector in injectors:
+            sim.schedule(self.at_s, injector.set_down, True)
+            sim.schedule(self.at_s + self.duration_s,
+                         injector.set_down, False)
+
+    def describe(self) -> Dict:
+        return {**super().describe(), "duration_s": self.duration_s}
+
+
+@dataclass(frozen=True)
+class Brownout(FaultCampaign):
+    """Degraded window: Bernoulli frame loss at ``drop_probability``."""
+
+    duration_s: float = 50e-6
+    drop_probability: float = 0.2
+    name = "brownout"
+
+    def arm(self, sim, injectors, agent=None) -> None:
+        for injector in injectors:
+            previous = injector.drop_probability
+            sim.schedule(self.at_s, injector.set_drop_probability,
+                         self.drop_probability)
+            sim.schedule(self.at_s + self.duration_s,
+                         injector.set_drop_probability, previous)
+
+    def describe(self) -> Dict:
+        return {
+            **super().describe(),
+            "duration_s": self.duration_s,
+            "drop_probability": self.drop_probability,
+        }
+
+
+@dataclass(frozen=True)
+class LenderCrash(FaultCampaign):
+    """Whole-node death: links go dark and the agent stops granting."""
+
+    name = "lender-crash"
+
+    def arm(self, sim, injectors, agent=None) -> None:
+        for injector in injectors:
+            sim.schedule(self.at_s, injector.set_down, True)
+        if agent is not None:
+            def crash():
+                agent.crashed = True
+            sim.schedule(self.at_s, crash)
+
+
+CAMPAIGNS: Dict[str, Type[FaultCampaign]] = {
+    cls.name: cls for cls in (LinkKill, LinkFlap, Brownout, LenderCrash)
+}
+
+
+def make_campaign(name: str, **params) -> FaultCampaign:
+    """Build a campaign from its catalogue name and parameters."""
+    try:
+        cls = CAMPAIGNS[name]
+    except KeyError:
+        raise UnknownCampaignError(
+            f"unknown campaign {name!r} "
+            f"(have: {', '.join(sorted(CAMPAIGNS))})"
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise UnknownCampaignError(
+            f"bad parameters for campaign {name!r}: {exc}"
+        ) from None
+
+
+def make_rest_fault_hook(testbed, seed: int = 0):
+    """Fault hook for ``POST /v1/faults`` on :class:`RestApi`.
+
+    Resolves the target attachment, arms the named campaign against the
+    *lender's* fault domain (its serial links), and returns the
+    campaign description for the HTTP response.
+    """
+    rng = SeededRNG(seed).derive("rest-faults")
+
+    def hook(name: str, attachment_id: int, params: Dict) -> Dict:
+        attachment = testbed.plane.attachment(
+            attachment_id, token=testbed.admin_token
+        )
+        campaign = make_campaign(name, **params)
+        links = testbed.links_of(attachment.memory_host)
+        injectors = [
+            ensure_injector(link, rng.derive(link.name)) for link in links
+        ]
+        agent = testbed.node(attachment.memory_host).agent
+        campaign.arm(testbed.sim, injectors, agent=agent)
+        return {
+            **campaign.describe(),
+            "attachment": attachment_id,
+            "target_host": attachment.memory_host,
+            "links": [link.name for link in links],
+        }
+
+    return hook

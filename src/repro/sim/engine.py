@@ -218,7 +218,10 @@ class Process(_Waitable):
         #: external observer, and the Signal + f-string name allocation
         #: showed up hot in datapath profiles.
         self._join_signal: Optional[Signal] = None
-        self._pending_interrupt: Optional[Interrupt] = None
+        #: Exception to throw into the generator at the next resume:
+        #: an :class:`Interrupt` (via :meth:`interrupt`) or a crashed
+        #: dependency's error being propagated to this joiner.
+        self._pending_interrupt: Optional[BaseException] = None
 
     @property
     def name(self) -> str:
@@ -239,7 +242,16 @@ class Process(_Waitable):
     # -- waitable protocol -------------------------------------------------
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
         if not self.alive:
-            sim._wake(process, self.result)
+            if self.error is not None and not isinstance(
+                self.error, Interrupt
+            ):
+                # Joining an already-crashed process re-raises its error
+                # in the joiner (same contract as joining before the
+                # crash — see _finish).
+                process._pending_interrupt = self.error
+                sim._wake(process, None)
+            else:
+                sim._wake(process, self.result)
         else:
             self._joiners.append(process)
 
@@ -309,14 +321,28 @@ class Process(_Waitable):
         self.alive = False
         self.result = result
         self.error = error
+        propagated = False
         if self._joiners:
             joiners, self._joiners = self._joiners, []
             sim = self.sim
-            for joiner in joiners:
-                sim._wake(joiner, result)
+            if error is not None and raise_error:
+                # Crash propagation: the error is thrown *into* every
+                # joiner at its next resume, so model code can catch
+                # domain errors across process waits (``try: yield
+                # bus.store(...) except RemoteMemoryError``) and the
+                # whole waiting chain unwinds via normal exception
+                # semantics instead of resuming with a bogus None.
+                propagated = True
+                for joiner in joiners:
+                    joiner._pending_interrupt = error
+                    sim._wake(joiner, None)
+            else:
+                for joiner in joiners:
+                    sim._wake(joiner, result)
         if self._join_signal is not None:
             self._join_signal.fire(result)
-        if error is not None and raise_error:
+        if error is not None and raise_error and not propagated:
+            # Nobody was waiting: surface the crash out of run().
             self.sim._record_crash(self, error)
 
     # -- public API ---------------------------------------------------------
@@ -612,6 +638,18 @@ class Simulator:
                                     elif ycls is Process:
                                         if yielded.alive:
                                             yielded._joiners.append(target)
+                                        elif (
+                                            yielded.error is not None
+                                            and not isinstance(
+                                                yielded.error, Interrupt
+                                            )
+                                        ):
+                                            target._pending_interrupt = (
+                                                yielded.error
+                                            )
+                                            ready.append(
+                                                (next(seq), target, None)
+                                            )
                                         else:
                                             ready.append(
                                                 (

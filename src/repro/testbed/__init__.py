@@ -1,6 +1,7 @@
 """Prototype assembly: nodes, the 3-node testbed, §VI-A configurations."""
 
 from . import calibration
+from .base import TestbedBase, TestbedProtocol
 from .configurations import (
     AccessEnvironment,
     MemoryConfigKind,
@@ -16,6 +17,8 @@ from .remote_buffer import RemoteBuffer
 __all__ = [
     "Ac922Node",
     "NodeSpec",
+    "TestbedProtocol",
+    "TestbedBase",
     "Testbed",
     "RackTestbed",
     "PacketRackTestbed",

@@ -1,0 +1,181 @@
+"""One front door for every testbed: protocol + shared base class.
+
+The three testbeds (:class:`~repro.testbed.prototype.Testbed`,
+:class:`~repro.testbed.rack.RackTestbed`,
+:class:`~repro.testbed.packet_rack.PacketRackTestbed`) historically
+grew divergent ``attach()`` signatures and each lacked some part of the
+common surface (``register_observability``, ``run``). This module
+fixes the API: :class:`TestbedProtocol` is the structural contract —
+attach/detach/run/register_observability with **one** signature and one
+:class:`~repro.control.orchestrator.Attachment` return type — and
+:class:`TestbedBase` implements it once, with small hooks for the
+per-topology differences (the circuit switch's reconfiguration blackout,
+which links belong to which host).
+
+Migration note: ``attach(host, size, memory_host, bonded)`` with the
+last two arguments *positional* is deprecated (one-release shim with a
+:class:`DeprecationWarning`); pass them as keywords.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Protocol, runtime_checkable
+
+from ..control.orchestrator import Attachment, ControlPlane
+from ..mem.address import AddressRange
+from ..net.link import SerialLink
+from ..sim.engine import Simulator
+from .node import Ac922Node
+
+__all__ = ["TestbedProtocol", "TestbedBase"]
+
+
+@runtime_checkable
+class TestbedProtocol(Protocol):
+    """What every testbed exposes: the unified experiment surface."""
+
+    sim: Simulator
+    plane: ControlPlane
+    nodes: List[Ac922Node]
+    admin_token: str
+
+    def node(self, hostname: str) -> Ac922Node:
+        ...
+
+    def attach(
+        self,
+        compute_host: str,
+        size: int,
+        *,
+        memory_host: Optional[str] = None,
+        bonded: bool = False,
+        token: Optional[str] = None,
+    ) -> Attachment:
+        ...
+
+    def detach(self, attachment: Attachment, *, force: bool = False) -> None:
+        ...
+
+    def remote_window_range(self, attachment: Attachment) -> AddressRange:
+        ...
+
+    def run(self, until: Optional[float] = None) -> float:
+        ...
+
+    def register_observability(self, registry) -> None:
+        ...
+
+    def links_of(self, hostname: str) -> List[SerialLink]:
+        ...
+
+
+class TestbedBase:
+    """Shared implementation of :class:`TestbedProtocol`.
+
+    Subclasses build ``sim``/``plane``/``nodes``/``admin_token`` in
+    their constructors and may override the two hooks:
+
+    * :meth:`_settle_after_attach` — e.g. the circuit switch's optical
+      reconfiguration blackout.
+    * :meth:`_register_network` — per-topology link/switch metrics.
+    """
+
+    __test__ = False  # not a pytest class, despite subclass names
+
+    sim: Simulator
+    plane: ControlPlane
+    nodes: List[Ac922Node]
+    admin_token: str
+
+    # -- node lookup ---------------------------------------------------------------
+    def node(self, hostname: str) -> Ac922Node:
+        for node in self.nodes:
+            if node.hostname == hostname:
+                return node
+        raise KeyError(f"no node {hostname!r}")
+
+    # -- attach / detach -----------------------------------------------------------
+    def attach(
+        self,
+        compute_host: str,
+        size: int,
+        *legacy,
+        memory_host: Optional[str] = None,
+        bonded: bool = False,
+        token: Optional[str] = None,
+    ) -> Attachment:
+        """Attach ``size`` bytes of disaggregated memory to a host.
+
+        Uses the admin credential unless ``token`` is given. Returns
+        once the fabric is usable (after any reconfiguration blackout).
+        """
+        if legacy:
+            if len(legacy) > 2:
+                raise TypeError(
+                    f"attach() takes at most 4 positional arguments "
+                    f"({2 + len(legacy)} given)"
+                )
+            warnings.warn(
+                "passing memory_host/bonded to attach() positionally is "
+                "deprecated; use keyword arguments "
+                "(attach(host, size, memory_host=..., bonded=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            memory_host = legacy[0]
+            if len(legacy) == 2:
+                bonded = legacy[1]
+        attachment = self.plane.attach(
+            compute_host,
+            size,
+            memory_host=memory_host,
+            bonded=bonded,
+            token=token if token is not None else self.admin_token,
+        )
+        self._settle_after_attach(attachment)
+        return attachment
+
+    def detach(self, attachment: Attachment, *, force: bool = False) -> None:
+        self.plane.detach(
+            attachment.attachment_id, token=self.admin_token, force=force
+        )
+
+    def _settle_after_attach(self, attachment: Attachment) -> None:
+        """Hook: wait out fabric bring-up before traffic flows."""
+
+    # -- addressing ----------------------------------------------------------------
+    def remote_window_range(self, attachment: Attachment) -> AddressRange:
+        """Real-address range the attachment occupies on the compute node."""
+        node = self.node(attachment.compute_host)
+        section_bytes = node.spec.section_bytes
+        first = attachment.plan.section_indices[0]
+        count = len(attachment.plan.section_indices)
+        return AddressRange(
+            node.tf_window.start + first * section_bytes,
+            count * section_bytes,
+        )
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the shared simulation (to ``until``, or until idle)."""
+        return self.sim.run(until=until)
+
+    # -- observability -------------------------------------------------------------
+    def register_observability(self, registry) -> None:
+        """Register every node plus the topology's network elements."""
+        for node in self.nodes:
+            node.register_observability(registry)
+        self._register_network(registry)
+
+    def _register_network(self, registry) -> None:
+        """Hook: per-topology link/switch metric registration."""
+
+    # -- fault domains --------------------------------------------------------------
+    def links_of(self, hostname: str) -> List[SerialLink]:
+        """The serial links whose failure isolates ``hostname``.
+
+        Fault campaigns target these (install an injector, kill or
+        degrade the link); each topology knows its own wiring.
+        """
+        raise NotImplementedError

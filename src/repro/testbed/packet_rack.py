@@ -25,13 +25,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..control.orchestrator import Attachment, ControlPlane
+from ..control.orchestrator import ControlPlane
 from ..control.security import Role
 from ..core.llc import LlcConfig
-from ..mem.address import AddressRange
 from ..net.link import ChannelEndpointView, LinkConfig, SerialLink
 from ..net.packet import Addressed, PacketSwitch, PacketSwitchError
 from ..sim.engine import Simulator
+from .base import TestbedBase
 from .node import Ac922Node, NodeSpec
 
 __all__ = ["PacketRackTestbed", "AddressedUplink", "PacketFabricDriver"]
@@ -139,10 +139,8 @@ class PacketFabricDriver:
         return sorted(key for key, refs in self._refs.items() if refs > 0)
 
 
-class PacketRackTestbed:
+class PacketRackTestbed(TestbedBase):
     """N nodes on a store-and-forward packet switch, one control plane."""
-
-    __test__ = False  # not a pytest class, despite the name
 
     SWITCH_NAME = "psw0"
 
@@ -172,11 +170,13 @@ class PacketRackTestbed:
         )
         self.nodes: List[Ac922Node] = []
         self.uplinks: Dict[int, AddressedUplink] = {}
+        self._node_links: Dict[str, List[SerialLink]] = {}
         self.plane = ControlPlane()
 
         for index in range(nodes):
             node = Ac922Node(self.sim, f"node{index}", self.spec, llc_config)
             self.nodes.append(node)
+            self._node_links[node.hostname] = []
             for channel in range(channels_per_node):
                 port = index * channels_per_node + channel
                 raw_up = SerialLink(
@@ -194,11 +194,13 @@ class PacketRackTestbed:
                 )
                 self.switch.attach_egress(port, down)
                 node.device.connect_channel(ChannelEndpointView(uplink, down))
+                self._node_links[node.hostname].extend((raw_up, down))
 
         driver = PacketFabricDriver(
             self.SWITCH_NAME,
             self.uplinks,
             on_circuit_up=self._sync_session_llcs,
+            on_circuit_down=self._sync_session_llcs,
         )
         for node in self.nodes:
             self.plane.register_host(
@@ -224,38 +226,15 @@ class PacketRackTestbed:
             node_index, channel = divmod(port, self.channels_per_node)
             self.nodes[node_index].device.llcs[channel].reset_link()
 
-    # -- conveniences -------------------------------------------------------------
-    def node(self, hostname: str) -> Ac922Node:
-        for node in self.nodes:
-            if node.hostname == hostname:
-                return node
-        raise KeyError(f"no node {hostname!r}")
+    # -- topology hooks -----------------------------------------------------------
+    # (No _settle_after_attach override: there is no reconfiguration
+    # blackout — the packet fabric is usable immediately.)
 
-    def attach(
-        self,
-        compute_host: str,
-        size: int,
-        memory_host: Optional[str] = None,
-        bonded: bool = False,
-    ) -> Attachment:
-        # No reconfiguration blackout: the fabric is usable immediately.
-        return self.plane.attach(
-            compute_host,
-            size,
-            memory_host=memory_host,
-            bonded=bonded,
-            token=self.admin_token,
-        )
+    def _register_network(self, registry) -> None:
+        for links in self._node_links.values():
+            for link in links:
+                link.register_metrics(registry)
 
-    def detach(self, attachment: Attachment) -> None:
-        self.plane.detach(attachment.attachment_id, token=self.admin_token)
-
-    def remote_window_range(self, attachment: Attachment) -> AddressRange:
-        node = self.node(attachment.compute_host)
-        section_bytes = node.spec.section_bytes
-        first = attachment.plan.section_indices[0]
-        count = len(attachment.plan.section_indices)
-        return AddressRange(
-            node.tf_window.start + first * section_bytes,
-            count * section_bytes,
-        )
+    def links_of(self, hostname: str) -> List[SerialLink]:
+        self.node(hostname)  # KeyError on unknown host
+        return list(self._node_links[hostname])

@@ -12,12 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..control.orchestrator import Attachment, ControlPlane
+from ..control.orchestrator import ControlPlane
 from ..control.security import Role
 from ..core.llc import LlcConfig
-from ..net.link import DuplexChannel, LinkConfig
+from ..net.link import DuplexChannel, LinkConfig, SerialLink
 from ..net.faults import FaultInjector
 from ..sim.engine import Simulator
+from .base import TestbedBase
 from .node import Ac922Node, NodeSpec
 
 __all__ = ["Testbed", "EthernetSpec"]
@@ -35,10 +36,8 @@ class EthernetSpec:
     hop_latency_s: float = 20e-6
 
 
-class Testbed:
+class Testbed(TestbedBase):
     """Builds the §V prototype and exposes attach/detach shortcuts."""
-
-    __test__ = False  # not a pytest class, despite the name
 
     def __init__(
         self,
@@ -94,53 +93,22 @@ class Testbed:
             self.plane.add_cable("node0", index, "node1", index)
         self.admin_token = self.plane.acl.issue_token(Role.ADMIN)
 
-    # -- observability -------------------------------------------------------------------
-    def register_observability(self, registry) -> None:
-        """Register every node and channel of the prototype."""
-        for node in self.nodes:
-            node.register_observability(registry)
+    # -- topology hooks ------------------------------------------------------------------
+    def _register_network(self, registry) -> None:
         for channel in self.channels:
             channel.a_to_b.register_metrics(registry, direction="ab")
             channel.b_to_a.register_metrics(registry, direction="ba")
 
-    # -- conveniences --------------------------------------------------------------------
-    def node(self, hostname: str) -> Ac922Node:
-        for node in self.nodes:
-            if node.hostname == hostname:
-                return node
-        raise KeyError(f"no node {hostname!r}")
-
-    def attach(
-        self,
-        compute_host: str,
-        size: int,
-        memory_host: Optional[str] = None,
-        bonded: bool = False,
-    ) -> Attachment:
-        """Attach disaggregated memory using the admin credential."""
-        return self.plane.attach(
-            compute_host,
-            size,
-            memory_host=memory_host,
-            bonded=bonded,
-            token=self.admin_token,
-        )
-
-    def detach(self, attachment: Attachment) -> None:
-        self.plane.detach(attachment.attachment_id, token=self.admin_token)
-
-    def remote_window_range(self, attachment: Attachment):
-        """Real-address range the attachment occupies on the compute node."""
-        node = self.node(attachment.compute_host)
-        section_bytes = node.spec.section_bytes
-        first = attachment.plan.section_indices[0]
-        count = len(attachment.plan.section_indices)
-        from ..mem.address import AddressRange
-
-        return AddressRange(
-            node.tf_window.start + first * section_bytes,
-            count * section_bytes,
-        )
+    def links_of(self, hostname: str) -> List[SerialLink]:
+        node = self.node(hostname)  # KeyError on unknown host
+        if node not in self.servers:
+            return []
+        # Back-to-back cabling: both servers share one fault domain —
+        # severing the copper isolates either of them.
+        links: List[SerialLink] = []
+        for channel in self.channels:
+            links.extend((channel.a_to_b, channel.b_to_a))
+        return links
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

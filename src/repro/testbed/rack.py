@@ -21,19 +21,17 @@ from ..control.orchestrator import Attachment, ControlPlane
 from ..control.security import Role
 from ..control.switching import SwitchDriver
 from ..core.llc import LlcConfig
-from ..mem.address import AddressRange
 from ..net.link import ChannelEndpointView, LinkConfig, SerialLink
 from ..net.switch import CircuitSwitch
 from ..sim.engine import Simulator
+from .base import TestbedBase
 from .node import Ac922Node, NodeSpec
 
 __all__ = ["RackTestbed"]
 
 
-class RackTestbed:
+class RackTestbed(TestbedBase):
     """N FPGA-equipped nodes, one optical circuit switch, one plane."""
-
-    __test__ = False  # not a pytest class, despite the name
 
     SWITCH_NAME = "sw0"
 
@@ -60,11 +58,13 @@ class RackTestbed:
             name=self.SWITCH_NAME,
         )
         self.nodes: List[Ac922Node] = []
+        self._node_links: Dict[str, List[SerialLink]] = {}
         self.plane = ControlPlane()
         driver = SwitchDriver(
             self.SWITCH_NAME,
             self.switch,
             on_circuit_up=self._sync_circuit_llcs,
+            on_circuit_down=self._sync_circuit_llcs,
         )
 
         for index in range(nodes):
@@ -72,6 +72,7 @@ class RackTestbed:
                 self.sim, f"node{index}", self.spec, llc_config
             )
             self.nodes.append(node)
+            self._node_links[node.hostname] = []
             for channel in range(channels_per_node):
                 port = index * channels_per_node + channel
                 # Uplink terminates directly on the switch port ingress;
@@ -89,6 +90,7 @@ class RackTestbed:
                 )
                 self.switch.attach_egress(port, down)
                 node.device.connect_channel(ChannelEndpointView(up, down))
+                self._node_links[node.hostname].extend((up, down))
 
         for node in self.nodes:
             self.plane.register_host(
@@ -116,47 +118,23 @@ class RackTestbed:
             node_index, channel = divmod(port, self.channels_per_node)
             self.nodes[node_index].device.llcs[channel].reset_link()
 
-    # -- conveniences -------------------------------------------------------------
-    def node(self, hostname: str) -> Ac922Node:
-        for node in self.nodes:
-            if node.hostname == hostname:
-                return node
-        raise KeyError(f"no node {hostname!r}")
-
-    def attach(
-        self,
-        compute_host: str,
-        size: int,
-        memory_host: Optional[str] = None,
-        bonded: bool = False,
-    ) -> Attachment:
-        attachment = self.plane.attach(
-            compute_host,
-            size,
-            memory_host=memory_host,
-            bonded=bonded,
-            token=self.admin_token,
-        )
+    # -- topology hooks -----------------------------------------------------------
+    def _settle_after_attach(self, attachment: Attachment) -> None:
         # Link bring-up: wait out the optical switch's reconfiguration
         # window (during which the new circuits are dark) before the
         # caller starts issuing transactions.
         self.sim.run(
             until=self.sim.now + self.switch.reconfiguration_s * 1.5
         )
-        return attachment
 
-    def detach(self, attachment: Attachment) -> None:
-        self.plane.detach(attachment.attachment_id, token=self.admin_token)
+    def _register_network(self, registry) -> None:
+        for links in self._node_links.values():
+            for link in links:
+                link.register_metrics(registry)
 
-    def remote_window_range(self, attachment: Attachment) -> AddressRange:
-        node = self.node(attachment.compute_host)
-        section_bytes = node.spec.section_bytes
-        first = attachment.plan.section_indices[0]
-        count = len(attachment.plan.section_indices)
-        return AddressRange(
-            node.tf_window.start + first * section_bytes,
-            count * section_bytes,
-        )
+    def links_of(self, hostname: str) -> List[SerialLink]:
+        self.node(hostname)  # KeyError on unknown host
+        return list(self._node_links[hostname])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

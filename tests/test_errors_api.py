@@ -1,0 +1,259 @@
+"""Unified error hierarchy and the versioned REST error contract."""
+
+import pytest
+
+from repro.control import RestApi, UnknownAttachmentError
+from repro.control.graph import GraphError
+from repro.control.orchestrator import OrchestrationError
+from repro.control.planner import NoPathError
+from repro.control.security import AuthError, Role
+from repro.errors import (
+    HTTP_STATUS_BY_CODE,
+    RemoteMemoryError,
+    ReproError,
+    http_status_for,
+)
+from repro.mem.address import AddressError
+from repro.net.packet import PacketSwitchError
+from repro.net.switch import SwitchError
+from repro.resilience import make_rest_fault_hook
+from repro.testbed import RackTestbed, Testbed
+
+MIB = 1 << 20
+
+
+class TestErrorHierarchy:
+    def test_every_domain_error_is_a_repro_error(self):
+        for cls in (
+            SwitchError,
+            PacketSwitchError,
+            OrchestrationError,
+            UnknownAttachmentError,
+            GraphError,
+            NoPathError,
+            AuthError,
+            AddressError,
+            RemoteMemoryError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_stdlib_bases_preserved(self):
+        # Callers that caught stdlib exceptions keep working.
+        assert issubclass(AddressError, ValueError)
+        assert issubclass(AuthError, PermissionError)
+        assert issubclass(SwitchError, RuntimeError)
+        assert issubclass(RemoteMemoryError, RuntimeError)
+
+    def test_stable_codes(self):
+        assert SwitchError("x").code == "switch/circuit"
+        assert PacketSwitchError("x").code == "switch/packet-session"
+        assert GraphError("x").code == "graph/inconsistent"
+        assert NoPathError("x").code == "graph/no-path"
+        assert AuthError("x").code == "auth/denied"
+        assert AddressError("x").code == "mem/address"
+        assert OrchestrationError("x").code == "control/orchestration"
+        assert (
+            UnknownAttachmentError("x").code
+            == "control/unknown-attachment"
+        )
+        assert RemoteMemoryError("x").code == "memory/unreachable"
+
+    def test_describe_shape(self):
+        error = RemoteMemoryError("gone", endpoint="node0", attempts=3)
+        body = error.describe()
+        assert body["error"] == "gone"
+        assert body["code"] == "memory/unreachable"
+        assert body["details"] == {"endpoint": "node0", "attempts": 3}
+
+    def test_instance_code_override(self):
+        error = ReproError("odd", code="memory/quarantined")
+        assert error.code == "memory/quarantined"
+
+    def test_http_table_covers_every_declared_code(self):
+        for cls in (
+            SwitchError,
+            PacketSwitchError,
+            OrchestrationError,
+            UnknownAttachmentError,
+            GraphError,
+            NoPathError,
+            AuthError,
+            AddressError,
+            RemoteMemoryError,
+        ):
+            assert cls.code in HTTP_STATUS_BY_CODE
+
+    def test_http_status_for(self):
+        assert http_status_for("auth/denied") == 401
+        assert http_status_for("control/unknown-attachment") == 404
+        assert http_status_for("memory/unreachable") == 502
+        assert http_status_for("never-heard-of-it") == 500
+
+
+@pytest.fixture
+def testbed():
+    return Testbed()
+
+
+@pytest.fixture
+def api(testbed):
+    return RestApi(testbed.plane)
+
+
+class TestVersionedErrorBodies:
+    def test_unknown_attachment_maps_via_code_table(self, api, testbed):
+        status, body = api.handle(
+            "DELETE", "/v1/attachments/99", token=testbed.admin_token
+        )
+        assert status == 404
+        assert body["code"] == "control/unknown-attachment"
+        assert "99" in body["error"]
+
+    def test_auth_denied_carries_code(self, api):
+        status, body = api.handle("GET", "/v1/state", token=None)
+        assert status == 401
+        assert body["code"] == "auth/denied"
+
+    def test_no_route_and_method_not_allowed(self, api, testbed):
+        status, body = api.handle(
+            "GET", "/v1/nope", token=testbed.admin_token
+        )
+        assert (status, body["code"]) == (404, "request/no-route")
+        status, body = api.handle(
+            "PUT", "/v1/attachments", token=testbed.admin_token
+        )
+        assert (status, body["code"]) == (
+            405,
+            "request/method-not-allowed",
+        )
+
+    def test_invalid_request_code(self, api, testbed):
+        status, body = api.handle(
+            "POST",
+            "/v1/attachments",
+            body={"size": 1},
+            token=testbed.admin_token,
+        )
+        assert status == 400
+        assert body["code"] == "request/invalid"
+
+
+class TestHealthRoute:
+    def test_unmonitored_plane(self, api, testbed):
+        status, body = api.handle(
+            "GET", "/v1/health", token=testbed.admin_token
+        )
+        assert status == 200
+        assert body == {"status": "unmonitored", "attachments": []}
+
+    def test_requires_read_permission(self, api):
+        status, body = api.handle("GET", "/v1/health", token=None)
+        assert status == 401
+        assert body["code"] == "auth/denied"
+
+    def test_monitored_plane_reports_watches(self):
+        from repro.control import HealthMonitor
+
+        rack = RackTestbed(nodes=2, channels_per_node=1)
+        attachment = rack.attach("node0", 2 * MIB, memory_host="node1")
+        monitor = HealthMonitor(rack)
+        monitor.watch(attachment)
+        api = RestApi(rack.plane, monitor=monitor)
+        status, body = api.handle(
+            "GET", "/v1/health", token=rack.admin_token
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["attachments"][0]["state"] == "healthy"
+        monitor.report_failure(attachment.attachment_id, "probe lost")
+        status, body = api.handle(
+            "GET", "/v1/health", token=rack.admin_token
+        )
+        assert body["status"] == "degraded"
+
+
+class TestFaultRoute:
+    def test_no_hook_is_structured_503(self, api, testbed):
+        status, body = api.handle(
+            "POST",
+            "/v1/faults",
+            body={"campaign": "link-kill", "attachment": 1},
+            token=testbed.admin_token,
+        )
+        assert status == 503
+        assert body["code"] == "resilience/no-injector"
+
+    def test_inject_named_campaign(self):
+        rack = RackTestbed(nodes=2, channels_per_node=1)
+        attachment = rack.attach("node0", 2 * MIB, memory_host="node1")
+        api = RestApi(rack.plane, fault_hook=make_rest_fault_hook(rack))
+        status, body = api.handle(
+            "POST",
+            "/v1/faults",
+            body={
+                "campaign": "link-flap",
+                "attachment": attachment.attachment_id,
+                "at_s": 1e-6,
+                "duration_s": 2e-6,
+            },
+            token=rack.admin_token,
+        )
+        assert status == 202
+        assert body["injected"] == "link-flap"
+        assert body["target_host"] == "node1"
+        assert body["links"]  # the lender's fault domain
+        # The campaign is really armed: the injectors flip down.
+        rack.sim.run(until=rack.sim.now + 1.5e-6)
+        assert all(
+            link.faults.down for link in rack.links_of("node1")
+        )
+
+    def test_unknown_campaign_maps_to_400(self):
+        rack = RackTestbed(nodes=2, channels_per_node=1)
+        attachment = rack.attach("node0", 2 * MIB, memory_host="node1")
+        api = RestApi(rack.plane, fault_hook=make_rest_fault_hook(rack))
+        status, body = api.handle(
+            "POST",
+            "/v1/faults",
+            body={
+                "campaign": "meteor-strike",
+                "attachment": attachment.attachment_id,
+            },
+            token=rack.admin_token,
+        )
+        assert status == 400
+        assert body["code"] == "resilience/unknown-campaign"
+
+    def test_fault_injection_requires_attach_permission(self):
+        rack = RackTestbed(nodes=2, channels_per_node=1)
+        viewer = rack.plane.acl.issue_token(Role.VIEWER)
+        api = RestApi(rack.plane, fault_hook=make_rest_fault_hook(rack))
+        status, body = api.handle(
+            "POST",
+            "/v1/faults",
+            body={"campaign": "link-kill", "attachment": 1},
+            token=viewer,
+        )
+        assert status == 401
+        assert body["code"] == "auth/denied"
+
+
+class TestForceDetachRoute:
+    def test_force_flag_passes_through(self):
+        rack = RackTestbed(nodes=2, channels_per_node=1)
+        attachment = rack.attach("node0", 2 * MIB, memory_host="node1")
+        api = RestApi(rack.plane)
+        status, _ = api.handle(
+            "DELETE",
+            f"/v1/attachments/{attachment.attachment_id}",
+            body={"force": True},
+            token=rack.admin_token,
+        )
+        assert status == 204
+        status, body = api.handle(
+            "GET",
+            f"/v1/attachments/{attachment.attachment_id}",
+            token=rack.admin_token,
+        )
+        assert status == 404
+        assert body["code"] == "control/unknown-attachment"

@@ -1,0 +1,101 @@
+"""One testbed front door: protocol conformance across all three."""
+
+import warnings
+
+import pytest
+
+from repro.control import Attachment
+# Aliased imports: pytest must not try to collect Testbed* as tests.
+from repro.testbed import PacketRackTestbed, RackTestbed
+from repro.testbed import Testbed as _Testbed
+from repro.testbed import TestbedBase as _TestbedBase
+from repro.testbed import TestbedProtocol as _TestbedProtocol
+
+MIB = 1 << 20
+
+BUILDERS = {
+    "prototype": lambda: _Testbed(),
+    "rack": lambda: RackTestbed(nodes=2, channels_per_node=2),
+    "packet": lambda: PacketRackTestbed(nodes=2, channels_per_node=2),
+}
+
+
+@pytest.fixture(params=sorted(BUILDERS))
+def testbed(request):
+    return BUILDERS[request.param]()
+
+
+class TestConformance:
+    def test_every_testbed_satisfies_the_protocol(self, testbed):
+        assert isinstance(testbed, _TestbedBase)
+        assert isinstance(testbed, _TestbedProtocol)
+
+    def test_attach_signature_unified(self, testbed):
+        attachment = testbed.attach(
+            "node0", 2 * MIB, memory_host="node1", bonded=False
+        )
+        assert isinstance(attachment, Attachment)
+        assert attachment.compute_host == "node0"
+        assert attachment.memory_host == "node1"
+
+    def test_remote_window_and_roundtrip(self, testbed):
+        attachment = testbed.attach("node0", 2 * MIB,
+                                    memory_host="node1")
+        window = testbed.remote_window_range(attachment)
+        payload = bytes(range(128))
+        testbed.node("node0").run_store(window.start, payload)
+        assert testbed.node("node0").run_load(window.start) == payload
+
+    def test_detach_and_force_detach(self, testbed):
+        attachment = testbed.attach("node0", 2 * MIB,
+                                    memory_host="node1")
+        testbed.detach(attachment)
+        second = testbed.attach("node0", 2 * MIB, memory_host="node1")
+        testbed.detach(second, force=True)
+
+    def test_run_advances_shared_clock(self, testbed):
+        before = testbed.sim.now
+        after = testbed.run(until=before + 5e-6)
+        assert after >= before
+
+    def test_register_observability_everywhere(self, testbed):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        testbed.register_observability(registry)
+        snapshot = registry.snapshot()
+        assert any(key.startswith("link.") for key in snapshot)
+        assert any(key.startswith("endpoint.") for key in snapshot)
+
+    def test_links_of_names_the_fault_domain(self, testbed):
+        links = testbed.links_of("node1")
+        assert links, "a host must have at least one serial link"
+        with pytest.raises(KeyError):
+            testbed.links_of("node99")
+
+    def test_node_lookup(self, testbed):
+        assert testbed.node("node0").hostname == "node0"
+        with pytest.raises(KeyError):
+            testbed.node("node99")
+
+
+class TestDeprecatedPositionalShim:
+    def test_positional_memory_host_warns_but_works(self, testbed):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            attachment = testbed.attach("node0", 2 * MIB, "node1")
+        assert attachment.memory_host == "node1"
+
+    def test_positional_bonded_warns_but_works(self):
+        testbed = _Testbed()
+        with pytest.warns(DeprecationWarning):
+            attachment = testbed.attach("node0", 2 * MIB, "node1", True)
+        assert attachment.flow.bonded is True
+
+    def test_keyword_form_is_warning_free(self, testbed):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            testbed.attach("node0", 2 * MIB, memory_host="node1")
+
+    def test_too_many_positionals_rejected(self, testbed):
+        with pytest.raises(TypeError):
+            testbed.attach("node0", 2 * MIB, "node1", True, "extra")
