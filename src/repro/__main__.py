@@ -11,6 +11,7 @@ Usage::
     python -m repro sweep slice:fig8.config --sweep kind=local,scale-out \\
         --set samples=30000              # fan a target out over a grid
     python -m repro chaos link-kill-failover --seed 7 --out chaos-artifacts
+    python -m repro backends             # which accel backend is active
 """
 
 from __future__ import annotations
@@ -402,6 +403,47 @@ def _run_sweep(argv) -> int:
     return 0
 
 
+# -- accel backends ---------------------------------------------------------------
+
+
+def _run_backends(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro backends",
+        description=(
+            "Report the accelerated-kernel backend in use: which backend "
+            "REPRO_BACKEND selected, which are importable, the numpy "
+            "version, and why a fallback happened (if one did)."
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as one JSON object",
+    )
+    args = parser.parse_args(argv)
+
+    from . import accel
+
+    info = accel.backend_info()
+    if args.json:
+        print(json.dumps(info, sort_keys=True))
+        return 0
+
+    requested = info["requested"] if info["requested"] is not None else "-"
+    env_value = info["env_value"] if info["env_value"] is not None else "(unset)"
+    print(f"selected backend : {info['selected']}")
+    print(f"requested        : {requested}")
+    print(f"{info['env_var']:17s}: {env_value}")
+    print(f"available        : {', '.join(info['available'])}")
+    if info["numpy_version"] is not None:
+        print(f"numpy            : {info['numpy_version']}")
+    else:
+        print(f"numpy            : unavailable ({info['numpy_import_error']})")
+    if info["fallback_reason"] is not None:
+        print(f"fallback         : {info['fallback_reason']}")
+    return 0
+
+
 # -- chaos engineering -----------------------------------------------------------
 
 
@@ -475,6 +517,7 @@ _SUBCOMMANDS = {
     "figures": _run_figures,
     "sweep": _run_sweep,
     "chaos": _run_chaos,
+    "backends": _run_backends,
 }
 
 
@@ -510,6 +553,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "chaos",
         help="deterministic fault-recovery scenario (--seed N, --out DIR)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "backends",
+        help="report the accel backend in use (REPRO_BACKEND, --json)",
         add_help=False,
     )
     return parser

@@ -1,0 +1,87 @@
+"""Pure-Python reference implementation of the accel kernels.
+
+Every kernel here defines the *semantics*: accelerated backends must
+return bit-identical values (floats included — same IEEE-754 operations
+in the same association order). Keep these loops boring and explicit;
+they double as the specification the differential suite checks the
+numpy backend against.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+NAME = "python"
+
+
+def serialization_schedule(
+    start_s: float, sizes_bytes: Sequence[int], payload_bits_per_s: float
+) -> List[float]:
+    """Wire-occupancy boundaries for frames serialized back to back.
+
+    Returns ``len(sizes_bytes) + 1`` instants: frame ``i`` occupies
+    ``[bounds[i], bounds[i + 1])``. Accumulation is strictly sequential
+    (``((start + t0) + t1) + ...``) — the association order every
+    backend must reproduce for bit-identical link timestamps.
+    """
+    bounds = [start_s]
+    cursor = start_s
+    for size in sizes_bytes:
+        cursor = cursor + size * 8 / payload_bits_per_s
+        bounds.append(cursor)
+    return bounds
+
+
+def frame_digest(
+    identity: int, entries: Iterable[Tuple[int, int, int]]
+) -> bytes:
+    """Canonical digest bytes of one LLC frame's transaction headers.
+
+    ``entries`` holds ``(txn_id, command_value, burst)`` per
+    transaction; a burst contributes one signature per cacheline (the
+    per-line headers the unbatched formulation would put on the wire),
+    so CRC coverage is identical in both formulations.
+    """
+    signature: List[int] = []
+    for txn_id, command_value, burst in entries:
+        if burst == 1:
+            signature.append(txn_id * 131 + command_value)
+        else:
+            for line in range(burst):
+                signature.append((txn_id + line) * 131 + command_value)
+    return struct.pack(
+        f"<Q{len(signature)}q",
+        identity & 0xFFFFFFFFFFFFFFFF,
+        *signature,
+    )
+
+
+def sort_values(values: Sequence[float]) -> List[float]:
+    """Ascending sort of latency samples (CDF/percentile preparation).
+
+    Sorting is a pure permutation of the inputs, so any backend's sort
+    yields the identical list; what varies is only the wall-clock cost
+    on the Fig. 8-sized sample sets.
+    """
+    return sorted(values)
+
+
+def bank_service_windows(
+    starts_s: Sequence[float],
+    line_counts: Sequence[int],
+    banks: int,
+    access_latency_s: float,
+    line_transfer_s: float,
+) -> Tuple[List[float], List[int]]:
+    """Completion instants and bank occupancy for a batch of bursts.
+
+    Lines of one burst proceed in parallel across banks, so each
+    burst's service is a single per-line interval regardless of length
+    (see ``DramDevice._access_burst``); occupancy is capped at the
+    device's bank count.
+    """
+    service = access_latency_s + line_transfer_s
+    completions = [start + service for start in starts_s]
+    slots = [lines if lines < banks else banks for lines in line_counts]
+    return completions, slots

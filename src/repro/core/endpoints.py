@@ -331,8 +331,7 @@ class ComputeEndpoint:
         """Fold one burst response segment into the reassembly buffer."""
         now = self.sim.now
         started = gather["started"]
-        for _ in range(txn.burst):
-            self.rtt.add(now - started)
+        self.rtt.add_repeated(now - started, txn.burst)
         if gather["data"] is not None and txn.data is not None:
             offset = txn.burst_offset * CACHELINE_BYTES
             gather["data"][offset : offset + len(txn.data)] = txn.data
@@ -353,7 +352,10 @@ class ComputeEndpoint:
                 if gather["data"] is not None
                 else gather["lines"] * CACHELINE_BYTES
             ),
-            data=bytes(gather["data"]) if gather["data"] is not None else None,
+            # The reassembly bytearray is handed over as-is: nothing
+            # writes it after the last segment lands, and copying it to
+            # bytes was the single largest allocation on the read path.
+            data=gather["data"] if gather["data"] is not None else None,
             txn_id=base_id,
             network_id=txn.network_id,
             arrival_channel=txn.arrival_channel,

@@ -26,7 +26,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
-from ..net.crc import crc32, frame_digest_bytes
+from .. import accel
+from ..net.crc import crc32
 from ..net.link import ChannelEndpointView
 from ..obs import trace as _trace
 from ..opencapi.ports import FPGA_STACK_CROSSING_S
@@ -109,19 +110,18 @@ class Frame:
         return sum(transaction_flits(t) for t in self.transactions) + self.nop_padding
 
     def digest(self) -> bytes:
-        signature = []
-        for txn in self.transactions:
-            if txn.burst == 1:
-                signature.append(txn.txn_id * 131 + txn.command.value)
-            else:
-                # A burst segment covers the same per-line headers the
-                # unbatched formulation would put on the wire; the CRC
-                # protects each of them.
-                command = txn.command.value
-                for line in range(txn.burst):
-                    signature.append((txn.txn_id + line) * 131 + command)
+        # A burst segment covers the same per-line headers the unbatched
+        # formulation would put on the wire; the CRC protects each of
+        # them. The per-line signature math runs on the active accel
+        # backend (vectorized for large bursts under numpy).
         identity = self.frame_id if self.frame_id is not None else -1
-        return frame_digest_bytes(identity, signature)
+        return accel.ops.frame_digest(
+            identity,
+            [
+                (txn.txn_id, txn.command.value, txn.burst)
+                for txn in self.transactions
+            ],
+        )
 
     def seal(self) -> None:
         self.crc = crc32(self.digest())

@@ -94,7 +94,11 @@ class BackingStore:
             if chunk is None:
                 return bytes(size)
             return chunk[chunk_offset : chunk_offset + size].tobytes()
-        out = np.zeros(size, dtype=np.uint8)
+        # Straddling read: assemble into the result buffer directly (a
+        # zero-initialized bytearray) instead of a numpy scratch array
+        # plus a tobytes copy.
+        out = bytearray(size)
+        out_view = memoryview(out)
         cursor = address
         remaining = size
         offset = 0
@@ -103,14 +107,35 @@ class BackingStore:
             span = min(remaining, chunk_bytes - chunk_offset)
             chunk = self._chunks.get(chunk_index)
             if chunk is not None:
-                out[offset : offset + span] = chunk[
+                out_view[offset : offset + span] = memoryview(chunk)[
                     chunk_offset : chunk_offset + span
                 ]
             cursor += span
             offset += span
             remaining -= span
         self.bytes_read += size
-        return out.tobytes()
+        out_view.release()
+        return bytes(out)
+
+    def read_view(self, address: int, size: int) -> memoryview:
+        """Zero-copy read of a range that fits one materialized chunk.
+
+        Returns a read-only view aliasing the live chunk — a later
+        ``write`` to the same range changes what the view observes, so
+        callers must consume (or copy) it before yielding control.
+        Falls back to a view over a fresh ``read`` when the range
+        straddles chunks or touches unmaterialized memory.
+        """
+        self._check(address, size)
+        chunk_index, chunk_offset = divmod(address, self.chunk_bytes)
+        if chunk_offset + size <= self.chunk_bytes:
+            chunk = self._chunks.get(chunk_index)
+            if chunk is not None:
+                self.bytes_read += size
+                return memoryview(chunk).toreadonly()[
+                    chunk_offset : chunk_offset + size
+                ]
+        return memoryview(self.read(address, size))
 
     def fill(self, address: int, size: int, value: int = 0) -> None:
         """memset-style fill (used for zeroing donated sections)."""
@@ -142,6 +167,12 @@ class BackingStore:
     ) -> None:
         """Copy bytes, possibly across stores (page-migration support)."""
         target = other if other is not None else self
+        if target is not self:
+            # Cross-store copy consumes the view immediately, so the
+            # zero-copy chunk alias is safe and skips the bytes round
+            # trip entirely on single-chunk ranges.
+            target.write(destination, self.read_view(source, size))
+            return
         target.write(destination, self.read(source, size))
 
     # -- introspection ------------------------------------------------------------

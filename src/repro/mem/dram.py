@@ -11,8 +11,9 @@ second-order effects the paper's donor nodes experience.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Sequence, Tuple
 
+from .. import accel
 from ..obs import trace as _trace
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
@@ -44,9 +45,38 @@ class DramTiming:
             )
         if self.banks < 1:
             raise ValueError(f"banks must be >= 1: {self.banks}")
+        # Precomputed service constants for the burst hot path — the
+        # same arithmetic the per-access formulation performs, so every
+        # downstream timestamp stays bit-identical.
+        object.__setattr__(
+            self, "line_transfer_s", self.transfer_time(CACHELINE_BYTES)
+        )
+        object.__setattr__(
+            self,
+            "burst_service_s",
+            self.access_latency_s + self.transfer_time(CACHELINE_BYTES),
+        )
 
     def transfer_time(self, size: int) -> float:
         return size / self.bandwidth_bytes_per_s
+
+    def service_schedule(
+        self, starts_s: Sequence[float], line_counts: Sequence[int]
+    ) -> Tuple[List[float], List[int]]:
+        """Batch service windows for many bursts at once.
+
+        Returns ``(completion instants, bank slots held)`` computed on
+        the active accel backend — the vectorized form of what
+        :meth:`DramDevice._access_burst` computes per burst. Used by
+        batch analysis and the per-backend kernel benchmarks.
+        """
+        return accel.ops.bank_service_windows(
+            starts_s,
+            line_counts,
+            self.banks,
+            self.access_latency_s,
+            self.line_transfer_s,
+        )
 
 
 class DramDevice:
@@ -178,10 +208,7 @@ class DramDevice:
         try:
             # Lines proceed in parallel across banks, so the burst's
             # service time is one per-line interval, not the sum.
-            service = self.timing.access_latency_s + self.timing.transfer_time(
-                CACHELINE_BYTES
-            )
-            yield service
+            yield self.timing.burst_service_s
             if data is None:
                 result = self.backing.read(address, size)
             else:
@@ -192,12 +219,10 @@ class DramDevice:
         elapsed = self.sim.now - start
         if data is None:
             self.reads += lines
-            for _ in range(lines):
-                self.read_latency.add(elapsed)
+            self.read_latency.add_repeated(elapsed, lines)
         else:
             self.writes += lines
-            for _ in range(lines):
-                self.write_latency.add(elapsed)
+            self.write_latency.add_repeated(elapsed, lines)
         return result
 
     # -- immediate (untimed) access for functional-only paths -------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from .. import accel
 from ..obs import trace as _trace
 from ..sim.engine import Simulator
 from ..sim.resources import Store
@@ -157,29 +158,43 @@ class SerialLink:
     def _pump(self) -> Generator:
         # The pump drains every frame queued at its wake-up instant in
         # one pass, computing each frame's wire occupancy analytically
-        # instead of sleeping through it. Serialization start/end
-        # instants are accumulated with the same float additions the
-        # sleeping formulation performed, and deliveries are scheduled
-        # at those absolute times, so delivery timestamps (and the
-        # fault-injector's per-frame decision order) are bit-identical
-        # — the frames just cost two events instead of four.
+        # instead of sleeping through it. The run's serialization
+        # boundaries come from the accel backend's batch schedule kernel
+        # (numpy cumsum for long runs), which accumulates with the same
+        # float additions in the same order the sleeping formulation
+        # performed, and deliveries are scheduled at those absolute
+        # times — so delivery timestamps (and the fault-injector's
+        # per-frame decision order) are bit-identical across backends
+        # and formulations; the frames just cost two events instead of
+        # four.
         while True:
             entry = yield self._tx_queue.get()
+            # No yields below, so nothing can enqueue mid-drain: taking
+            # the whole run up front preserves arrival order exactly.
+            entries = [entry]
+            while True:
+                entry = self._tx_queue.try_get()
+                if entry is None:
+                    break
+                entries.append(entry)
             wire_free = self._busy_until
             if wire_free < self.sim.now:
                 wire_free = self.sim.now
-            while entry is not None:
-                payload, size_bytes, enqueued_at, pre_corrupted = entry
-                self.queue_delay.add(wire_free - enqueued_at)
-                ser_start = wire_free
-                wire_free = wire_free + self.config.serialization_time(
-                    size_bytes
-                )
+            bounds = accel.ops.serialization_schedule(
+                wire_free,
+                [item[1] for item in entries],
+                self.config.payload_bits_per_s,
+            )
+            for index, item in enumerate(entries):
+                payload, size_bytes, enqueued_at, pre_corrupted = item
+                ser_start = bounds[index]
+                ser_end = bounds[index + 1]
+                self.queue_delay.add(ser_start - enqueued_at)
                 if _trace.ENABLED:
                     _trace.span(
                         "link.serialize",
                         ser_start,
-                        wire_free,
+                        ser_end,
                         self.name,
                         bytes=size_bytes,
                     )
@@ -194,7 +209,7 @@ class SerialLink:
                             bytes=size_bytes,
                         )
                     self.sim.schedule_at(
-                        wire_free + self.config.flight_latency_s,
+                        ser_end + self.config.flight_latency_s,
                         self._deliver,
                         payload,
                         size_bytes,
@@ -204,8 +219,7 @@ class SerialLink:
                     _trace.instant(
                         "link.drop", ser_start, self.name, bytes=size_bytes
                     )
-                entry = self._tx_queue.try_get()
-            self._busy_until = wire_free
+            self._busy_until = bounds[-1]
 
     def _deliver(self, payload: Any, size_bytes: int, corrupted: bool) -> None:
         self.frames_delivered += 1

@@ -42,7 +42,16 @@ class Addressed:
 
     @property
     def wire_bytes(self) -> int:
-        return getattr(self.payload, "wire_bytes", 64)
+        size = getattr(self.payload, "wire_bytes", None)
+        if size is not None:
+            return size
+        try:
+            # Raw buffer payloads (bytes / bytearray / memoryview)
+            # serialize at their actual length, so zero-copy slices
+            # keep honest wire footprints.
+            return memoryview(self.payload).nbytes
+        except TypeError:
+            return 64
 
 
 class PacketSwitch:

@@ -9,7 +9,6 @@ faithful subset of the OpenCAPI TL/TLx command set.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from enum import Enum, auto
 from typing import Optional
@@ -51,11 +50,30 @@ class ResponseCode(Enum):
     RETRY = auto()             #: transient (e.g. endpoint quiescing)
 
 
-_txn_ids = itertools.count(1)
+class _TxnIdCounter:
+    """Monotonic transaction-id source.
+
+    A plain integer bump: reserving an N-line run is one addition
+    instead of N ``next()`` calls on an ``itertools.count``, and the
+    allocated ids are identical.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 1):
+        self.value = start
+
+    def take(self, count: int = 1) -> int:
+        base = self.value
+        self.value = base + count
+        return base
+
+
+_txn_ids = _TxnIdCounter(1)
 
 
 def _next_txn_id() -> int:
-    return next(_txn_ids)
+    return _txn_ids.take()
 
 
 def _reserve_txn_ids(count: int) -> int:
@@ -65,10 +83,7 @@ def _reserve_txn_ids(count: int) -> int:
     reserving the whole id run keeps the wire identifiers (and hence
     frame CRC signatures) identical to the per-line formulation.
     """
-    base = next(_txn_ids)
-    for _ in range(count - 1):
-        next(_txn_ids)
-    return base
+    return _txn_ids.take(count)
 
 
 @dataclass
@@ -85,6 +100,9 @@ class MemTransaction:
     command: TLCommand
     address: int = 0
     size: int = CACHELINE_BYTES
+    #: Payload bytes; any buffer type (``bytes``, ``bytearray``,
+    #: ``memoryview``) is accepted so split views and reassembly can
+    #: stay zero-copy. Consumers materialize only at the backing store.
     data: Optional[bytes] = None
     txn_id: int = field(default_factory=_next_txn_id)
     network_id: Optional[int] = None
@@ -293,16 +311,30 @@ def split_burst(
         )
     data = txn.data
     if data is not None:
+        # Zero-copy window: a memoryview slice aliases the parent
+        # payload instead of copying it. Payload sources are immutable
+        # user buffers, so aliasing is safe.
+        if type(data) is not memoryview:
+            data = memoryview(data)
         data = data[
             line_start * CACHELINE_BYTES : (line_start + lines)
             * CACHELINE_BYTES
         ]
-    return replace(
-        txn,
-        txn_id=txn.txn_id + line_start,
-        address=txn.address + line_start * CACHELINE_BYTES,
-        size=lines * CACHELINE_BYTES,
-        data=data,
-        burst=lines,
-        burst_offset=txn.burst_offset + line_start,
-    )
+    # Hand-rolled copy: ``dataclasses.replace`` re-runs field discovery
+    # and __post_init__ validation on every call, which dominated the
+    # frame-packing profile. The split's bounds are validated above.
+    view = object.__new__(MemTransaction)
+    view.command = txn.command
+    view.address = txn.address + line_start * CACHELINE_BYTES
+    view.size = lines * CACHELINE_BYTES
+    view.data = data
+    view.txn_id = txn.txn_id + line_start
+    view.network_id = txn.network_id
+    view.pasid = txn.pasid
+    view.response_code = txn.response_code
+    view.arrival_channel = txn.arrival_channel
+    view.piggyback_credits = txn.piggyback_credits
+    view.issued_at = txn.issued_at
+    view.burst = lines
+    view.burst_offset = txn.burst_offset + line_start
+    return view

@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from .. import accel
 from ..obs import MetricsRegistry, disable_tracing
 from .cache import ResultCache
 from .spec import RunSpec
@@ -83,10 +84,16 @@ def _accepts_seed(target: Callable[..., Any]) -> bool:
     )
 
 
-def _worker_init() -> None:
+def _worker_init(backend_name: Optional[str] = None) -> None:
     # A worker forked mid-trace would inherit the parent's live tracer;
     # every spec must simulate from a clean observability slate.
     disable_tracing()
+    # Spawned workers re-import and would re-resolve REPRO_BACKEND from
+    # their own environment; pin them to the parent's active backend so
+    # a sweep's results all come off one code path (and match the
+    # backend recorded in each spec's fingerprint).
+    if backend_name is not None:
+        accel.select_backend(backend_name)
 
 
 def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -165,7 +172,9 @@ class SweepEngine:
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_worker_init
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(accel.ops.NAME,),
                 ) as pool:
                     raw = list(pool.map(execute_payload, payloads))
             else:

@@ -136,8 +136,15 @@ class RemoteBuffer:
     # -- timed access (simulation processes) -----------------------------------------
     def write_process(self, offset: int, data: bytes) -> Generator:
         bus = self.node.bus
+        # One memoryview over the caller's buffer; every page segment
+        # and window below is a zero-copy slice of it. The old
+        # ``data[:chunk], data[chunk:]`` split copied the remaining
+        # tail once per page — quadratic in buffer size.
+        view = memoryview(data)
+        cursor = 0
         for address, chunk in self._segments(offset, len(data)):
-            piece, data = data[:chunk], data[chunk:]
+            piece = view[cursor : cursor + chunk]
+            cursor += chunk
             for start, size, is_run in self._windows(address, chunk):
                 part = piece[start - address : start - address + size]
                 if not is_run:

@@ -1,0 +1,334 @@
+"""Unit tests for the accel backend registry and its kernels.
+
+Covers backend selection (environment variable, explicit names, numpy
+fallback), kernel-level differential equality on randomized inputs, the
+``python -m repro backends`` CLI report, the backend-aware sweep
+fingerprint, and the zero-copy plumbing the kernels ride on.
+"""
+
+import io
+import json
+import random
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import accel
+from repro.accel import python_backend
+
+HAVE_NUMPY = "numpy" in accel.available_backends()
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy backend unavailable"
+)
+
+
+class TestRegistry:
+    def test_python_backend_always_available(self):
+        assert "python" in accel.available_backends()
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(accel.AccelError) as excinfo:
+            accel.get_backend("fortran")
+        assert "fortran" in str(excinfo.value)
+        assert excinfo.value.code == "accel/bad-backend"
+
+    def test_select_backend_unknown_name_raises(self):
+        with pytest.raises(accel.AccelError):
+            accel.select_backend("fortran")
+
+    def test_use_backend_restores_previous(self):
+        before = accel.ops.NAME
+        with accel.use_backend("python"):
+            assert accel.ops.NAME == "python"
+        assert accel.ops.NAME == before
+
+    def test_use_backend_restores_after_exception(self):
+        before = accel.ops.NAME
+        with pytest.raises(RuntimeError):
+            with accel.use_backend("python"):
+                raise RuntimeError("boom")
+        assert accel.ops.NAME == before
+
+    def test_backend_info_shape(self):
+        info = accel.backend_info()
+        assert set(info) == {
+            "selected",
+            "requested",
+            "env_var",
+            "env_value",
+            "available",
+            "numpy_version",
+            "numpy_import_error",
+            "fallback_reason",
+        }
+        assert info["selected"] in info["available"]
+        assert info["env_var"] == "REPRO_BACKEND"
+
+    def test_accel_error_is_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(accel.AccelError, ReproError)
+
+
+class TestKernelDifferential:
+    """Randomized exact-equality checks: numpy kernel == reference."""
+
+    @requires_numpy
+    def test_serialization_schedule_bit_identical(self):
+        from repro.accel import numpy_backend
+
+        rng = random.Random(20260808)
+        for count in (0, 1, 7, 8, 9, 100, 5000):
+            sizes = [rng.randrange(1, 4096) for _ in range(count)]
+            start = rng.random() * 1e-3
+            rate = 9.6969696969e10
+            assert numpy_backend.serialization_schedule(
+                start, sizes, rate
+            ) == python_backend.serialization_schedule(start, sizes, rate)
+
+    @requires_numpy
+    def test_frame_digest_bit_identical(self):
+        from repro.accel import numpy_backend
+
+        rng = random.Random(42)
+        for _ in range(50):
+            entries = [
+                (
+                    rng.randrange(1, 1 << 40),
+                    rng.randrange(1, 8),
+                    rng.choice([1, 1, 1, 2, 4, 16, 64]),
+                )
+                for _ in range(rng.randrange(0, 24))
+            ]
+            identity = rng.randrange(-1, 1 << 32)
+            assert numpy_backend.frame_digest(
+                identity, entries
+            ) == python_backend.frame_digest(identity, entries)
+
+    @requires_numpy
+    def test_bank_service_windows_bit_identical(self):
+        from repro.accel import numpy_backend
+
+        rng = random.Random(7)
+        for count in (0, 3, 8, 500):
+            starts = [rng.random() * 1e-2 for _ in range(count)]
+            lines = [rng.randrange(1, 64) for _ in range(count)]
+            assert numpy_backend.bank_service_windows(
+                starts, lines, 16, 85e-9, 1e-9
+            ) == python_backend.bank_service_windows(
+                starts, lines, 16, 85e-9, 1e-9
+            )
+
+    def test_reference_schedule_matches_loop_semantics(self):
+        bounds = python_backend.serialization_schedule(1.0, [64, 128], 1e9)
+        assert bounds[0] == 1.0
+        assert bounds[1] == 1.0 + 64 * 8 / 1e9
+        assert bounds[2] == bounds[1] + 128 * 8 / 1e9
+
+    def test_reference_digest_matches_legacy_helper(self):
+        """The backend kernel must reproduce net.crc.frame_digest_bytes."""
+        from repro.net.crc import frame_digest_bytes
+
+        entries = [(5, 1, 1), (6, 2, 4), (100, 1, 1)]
+        signature = []
+        for txn_id, command_value, burst in entries:
+            for line in range(burst):
+                signature.append((txn_id + line) * 131 + command_value)
+        assert python_backend.frame_digest(77, entries) == (
+            frame_digest_bytes(77, signature)
+        )
+
+
+class TestStatsAddRepeated:
+    def test_matches_sequential_adds_exactly(self):
+        from repro.sim.stats import RunningStats
+
+        loop = RunningStats("loop")
+        batch = RunningStats("batch")
+        rng = random.Random(3)
+        for _ in range(25):
+            value = rng.random() * 1e-6
+            count = rng.randrange(1, 9)
+            for _ in range(count):
+                loop.add(value)
+            batch.add_repeated(value, count)
+        assert batch.count == loop.count
+        assert batch.total == loop.total
+        assert batch.mean == loop.mean
+        assert batch.variance == loop.variance
+        assert batch.minimum == loop.minimum
+        assert batch.maximum == loop.maximum
+
+    def test_latency_recorder_add_repeated(self):
+        from repro.sim.stats import LatencyRecorder
+
+        loop = LatencyRecorder("loop")
+        batch = LatencyRecorder("batch")
+        for value, count in [(3.0, 4), (1.0, 2), (2.0, 3)]:
+            for _ in range(count):
+                loop.add(value)
+            batch.add_repeated(value, count)
+        assert batch.count == loop.count
+        assert batch.percentile(50) == loop.percentile(50)
+        assert batch.cdf() == loop.cdf()
+
+    def test_zero_and_negative_counts_are_noops(self):
+        from repro.sim.stats import RunningStats
+
+        stats = RunningStats()
+        stats.add_repeated(5.0, 0)
+        stats.add_repeated(5.0, -3)
+        assert stats.count == 0
+
+
+class TestZeroCopyPlumbing:
+    def test_split_burst_aliases_parent_payload(self):
+        from repro.opencapi.transactions import MemTransaction, split_burst
+
+        blob = bytes(range(256)) * 2  # 4 cachelines
+        txn = MemTransaction.write_burst(0x1000, blob)
+        view = split_burst(txn, 1, 2)
+        assert isinstance(view.data, memoryview)
+        assert view.data.obj is blob  # aliases, not a copy
+        assert bytes(view.data) == blob[128:384]
+        assert view.txn_id == txn.txn_id + 1
+        assert view.address == 0x1000 + 128
+        assert view.burst == 2
+        assert view.burst_offset == 1
+
+    def test_split_burst_of_split_stays_zero_copy(self):
+        from repro.opencapi.transactions import MemTransaction, split_burst
+
+        blob = bytes(range(256)) * 4  # 8 lines
+        txn = MemTransaction.write_burst(0, blob)
+        inner = split_burst(split_burst(txn, 2, 4), 1, 2)
+        assert inner.data.obj is blob
+        assert bytes(inner.data) == blob[3 * 128 : 5 * 128]
+        assert inner.base_txn_id == txn.txn_id
+
+    def test_split_burst_bounds_still_enforced(self):
+        from repro.opencapi.transactions import MemTransaction, split_burst
+
+        txn = MemTransaction.read_burst(0, 4)
+        with pytest.raises(ValueError):
+            split_burst(txn, 3, 2)
+
+    def test_txn_id_reservation_still_consecutive(self):
+        from repro.opencapi.transactions import MemTransaction
+
+        single = MemTransaction.read(0)
+        burst = MemTransaction.read_burst(0, 5)
+        after = MemTransaction.read(0)
+        assert burst.txn_id == single.txn_id + 1
+        assert after.txn_id == burst.txn_id + 5
+
+    def test_addressed_wire_bytes_buffer_fallback(self):
+        from repro.net.packet import Addressed
+
+        assert Addressed(0, b"x" * 200).wire_bytes == 200
+        assert Addressed(0, memoryview(b"y" * 64)[:32]).wire_bytes == 32
+        assert Addressed(0, object()).wire_bytes == 64
+
+        class Sized:
+            wire_bytes = 999
+
+        assert Addressed(0, Sized()).wire_bytes == 999
+
+    def test_backing_read_view_is_zero_copy(self):
+        from repro.mem.address import AddressRange
+        from repro.mem.backing import BackingStore
+
+        store = BackingStore(AddressRange(0, 1 << 20))
+        store.write(0x100, b"\xab" * 64)
+        view = store.read_view(0x100, 64)
+        assert isinstance(view, memoryview)
+        assert view.readonly
+        assert bytes(view) == b"\xab" * 64
+        # The view aliases the live chunk: a later write shows through.
+        store.write(0x100, b"\xcd" * 64)
+        assert bytes(view) == b"\xcd" * 64
+
+    def test_backing_read_view_falls_back_across_chunks(self):
+        from repro.mem.address import AddressRange
+        from repro.mem.backing import BackingStore
+
+        store = BackingStore(AddressRange(0, 1 << 20), chunk_bytes=4096)
+        store.write(4096 - 32, b"\x11" * 64)
+        view = store.read_view(4096 - 32, 64)
+        assert bytes(view) == b"\x11" * 64
+
+    def test_backing_straddling_read_matches_writes(self):
+        from repro.mem.address import AddressRange
+        from repro.mem.backing import BackingStore
+
+        store = BackingStore(AddressRange(0, 1 << 20), chunk_bytes=4096)
+        blob = bytes(range(256)) * 48  # 12 KiB: spans 4 chunks
+        store.write(1000, blob)
+        assert store.read(1000, len(blob)) == blob
+        # Untouched tail still reads as zeros.
+        assert store.read(1000 + len(blob), 64) == bytes(64)
+
+    def test_backing_copy_range_across_stores(self):
+        from repro.mem.address import AddressRange
+        from repro.mem.backing import BackingStore
+
+        src = BackingStore(AddressRange(0, 1 << 20))
+        dst = BackingStore(AddressRange(0, 1 << 20))
+        src.write(0x40, b"\x5a" * 256)
+        src.copy_range(0x40, 0x80, 256, other=dst)
+        assert dst.read(0x80, 256) == b"\x5a" * 256
+
+
+class TestSweepFingerprint:
+    def test_fingerprint_differs_across_backends(self):
+        from repro.sweep import make_spec
+
+        with accel.use_backend("python"):
+            spec_py = make_spec("slice:fig8.config", samples=10)
+        spec_active = make_spec("slice:fig8.config", samples=10)
+        if HAVE_NUMPY and accel.ops.NAME == "numpy":
+            assert spec_py.fingerprint != spec_active.fingerprint
+            assert spec_py.key != spec_active.key
+        # Same backend twice -> identical key (cache still coheres).
+        with accel.use_backend("python"):
+            assert make_spec(
+                "slice:fig8.config", samples=10
+            ).key == spec_py.key
+
+    def test_explicit_fingerprint_untouched(self):
+        from repro.sweep import make_spec
+
+        spec = make_spec("slice:fig8.config", fingerprint="pinned")
+        assert spec.fingerprint == "pinned"
+
+
+class TestBackendsCli:
+    def _run(self, argv):
+        from repro.__main__ import main
+
+        stream = io.StringIO()
+        with redirect_stdout(stream):
+            code = main(argv)
+        return code, stream.getvalue()
+
+    def test_text_report(self):
+        code, out = self._run(["backends"])
+        assert code == 0
+        assert "selected backend : " + accel.ops.NAME in out
+        assert "REPRO_BACKEND" in out
+        assert "available" in out
+
+    def test_json_report_round_trips(self):
+        code, out = self._run(["backends", "--json"])
+        assert code == 0
+        info = json.loads(out)
+        assert info == json.loads(json.dumps(accel.backend_info()))
+
+    def test_listed_in_help(self):
+        from repro.__main__ import _build_parser
+
+        stream = io.StringIO()
+        with redirect_stdout(stream):
+            _build_parser().print_help()
+        assert "backends" in stream.getvalue()

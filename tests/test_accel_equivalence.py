@@ -1,0 +1,121 @@
+"""Differential tests: numpy backend vs the pure-Python reference.
+
+The accel backend swaps the implementation of the hot timing kernels,
+never the model: a scenario simulated under ``REPRO_BACKEND=numpy``
+must produce byte-identical payloads, bit-identical simulated time and
+identical protocol counters to the same scenario under
+``REPRO_BACKEND=python``. These tests run full end-to-end scenarios —
+STREAM bulk transfer, per-cacheline pingpong, and a seeded chaos
+campaign — once per backend and diff every externally visible output.
+"""
+
+import json
+
+import pytest
+
+from repro import accel
+from repro.mem import MIB
+from repro.obs import MetricsRegistry
+from repro.testbed import Testbed
+
+from test_bulk_equivalence import _assert_equivalent, _snapshot, _stream_scenario
+
+requires_numpy = pytest.mark.skipif(
+    "numpy" not in accel.available_backends(),
+    reason="numpy backend unavailable",
+)
+
+
+def _metrics_snapshot(testbed):
+    registry = MetricsRegistry("accel-equivalence")
+    testbed.register_observability(registry)
+    return registry.snapshot()
+
+
+def _per_backend(scenario):
+    """Run ``scenario()`` once per backend; return both results."""
+    with accel.use_backend("python"):
+        reference = scenario()
+    with accel.use_backend("numpy"):
+        accelerated = scenario()
+    return reference, accelerated
+
+
+@requires_numpy
+class TestStreamEquivalence:
+    """Bulk write + read-back: the batched burst datapath end to end."""
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_payload_counters_and_metrics_identical(self, batched):
+        def scenario():
+            testbed, data, blob = _stream_scenario(batched=batched)
+            return testbed, bytes(data), blob
+
+        (tb_ref, data_ref, blob), (tb_np, data_np, _) = _per_backend(scenario)
+        assert data_ref == blob
+        assert data_np == blob
+        _assert_equivalent(_snapshot(tb_ref), _snapshot(tb_np))
+        assert _metrics_snapshot(tb_ref) == _metrics_snapshot(tb_np)
+
+
+@requires_numpy
+class TestPingpongEquivalence:
+    """Per-cacheline load/store roundtrips (latency-bound path)."""
+
+    def test_rtt_distribution_identical(self):
+        def scenario():
+            testbed = Testbed()
+            attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+            window = testbed.remote_window_range(attachment)
+            payload = bytes(range(128))
+            reads = []
+            for index in range(48):
+                address = window.start + index * 128
+                testbed.node0.run_store(address, payload)
+                reads.append(bytes(testbed.node0.run_load(address)))
+            return testbed, reads, payload
+
+        (tb_ref, reads_ref, payload), (tb_np, reads_np, _) = _per_backend(
+            scenario
+        )
+        assert all(item == payload for item in reads_ref)
+        assert reads_ref == reads_np
+        _assert_equivalent(_snapshot(tb_ref), _snapshot(tb_np))
+        assert _metrics_snapshot(tb_ref) == _metrics_snapshot(tb_np)
+
+
+@requires_numpy
+class TestChaosEquivalence:
+    """A seeded fault-recovery campaign: replay, failover, journal."""
+
+    def test_scenario_artifact_byte_identical(self):
+        from repro.resilience import run_scenario
+
+        def scenario():
+            return run_scenario("link-kill-failover", seed=7)
+
+        reference, accelerated = _per_backend(scenario)
+        assert reference["verified"]
+        # The full JSON artifact — the chaos CLI's --out payload — must
+        # serialize to the same bytes under either backend.
+        canonical_ref = json.dumps(reference, sort_keys=True)
+        canonical_np = json.dumps(accelerated, sort_keys=True)
+        assert canonical_ref == canonical_np
+
+
+@requires_numpy
+class TestKernelThresholdConsistency:
+    """Below VECTOR_MIN the numpy backend delegates to the reference —
+    both sides of the threshold must agree anyway."""
+
+    def test_schedule_agrees_across_threshold(self):
+        from repro.accel import numpy_backend, python_backend
+
+        for count in (1, numpy_backend.VECTOR_MIN - 1,
+                      numpy_backend.VECTOR_MIN, 64):
+            sizes = [64 + 17 * i for i in range(count)]
+            assert numpy_backend.serialization_schedule(
+                3.25e-6, sizes, 9.6969e10
+            ) == python_backend.serialization_schedule(
+                3.25e-6, sizes, 9.6969e10
+            )

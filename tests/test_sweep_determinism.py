@@ -101,9 +101,14 @@ class TestRunSpecKeys:
                          partitions=(4, 16))
         assert spec.kwargs == {"workload": "A", "partitions": [4, 16]}
 
-    def test_default_fingerprint_is_source_tree(self):
+    def test_default_fingerprint_is_source_tree_plus_backend(self):
+        from repro import accel
+        from repro.sweep.fingerprint import combine_fingerprints
+
         spec = make_spec("slice:rtt.rows", samples=1)
-        assert spec.fingerprint == source_fingerprint()
+        assert spec.fingerprint == combine_fingerprints(
+            source_fingerprint(), "backend:" + accel.ops.NAME
+        )
         assert len(spec.fingerprint) == 64
 
 
