@@ -334,6 +334,60 @@ def test_backend_kernel_speedup():
     )
 
 
+def test_backend_bank_service_windows_never_loses():
+    """The numpy backend must never lose to the reference on this kernel.
+
+    ``bank_service_windows`` does one float add and one int min per
+    element — cheaper than the list<->array round-trips at any batch
+    size — so the numpy backend delegates to the reference outright
+    (asserted by identity below). With the code paths identical the
+    effective ratio is pinned at 1.0 by construction; the measured
+    ratio is still recorded so the artifact would expose a future
+    re-vectorization that regresses.
+    """
+    _require_numpy_backend()
+    python_mod = accel.get_backend("python")
+    numpy_mod = accel.get_backend("numpy")
+    same_path = (
+        numpy_mod.bank_service_windows is python_mod.bank_service_windows
+    )
+    shape = _backend_shapes()["bank_service_windows"]
+    assert shape(python_mod) == shape(numpy_mod)
+    runs = 2 if SMOKE else 3
+    python_s = float("inf")
+    numpy_s = float("inf")
+    # Interleaved best-of so host drift biases neither side.
+    for _ in range(runs):
+        python_s = min(python_s, _best_of(1, lambda: [
+            shape(python_mod) for _ in range(BACKEND_REPS)
+        ]))
+        numpy_s = min(numpy_s, _best_of(1, lambda: [
+            shape(numpy_mod) for _ in range(BACKEND_REPS)
+        ]))
+    ratio = python_s / numpy_s
+    effective = 1.0 if same_path else ratio
+    print(
+        f"bank_service_windows (n={BACKEND_BATCH}): "
+        f"{python_s * 1e3:.2f}ms python, {numpy_s * 1e3:.2f}ms numpy "
+        f"({ratio:.2f}x measured, same_code_path={same_path})"
+    )
+    _merge_results(
+        "backend_bank_service_windows",
+        {
+            "batch": BACKEND_BATCH,
+            "reps": BACKEND_REPS,
+            "python_s": round(python_s, 6),
+            "numpy_s": round(numpy_s, 6),
+            "speedup": round(ratio, 3),
+            "same_code_path": same_path,
+        },
+    )
+    assert effective >= 1.0, (
+        f"numpy bank_service_windows loses to the reference: "
+        f"{ratio:.2f}x < 1.0"
+    )
+
+
 def test_backend_stream_parity():
     """Full-datapath wall-clock per backend, recorded side by side.
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Telemetry scrape-and-plot: Prometheus exposition over the REST API.
+
+Runs a small remote-memory workload on the three-node prototype, wires
+the metrics registry into the control plane's REST API, scrapes
+``GET /v1/metrics`` exactly like a Prometheus server would, strict-
+parses the exposition, and renders two ASCII charts from the scraped
+samples — per-node load/store mix and per-link bytes on the wire.
+Everything is stdlib-only.
+
+Run:  python examples/telemetry_scrape.py
+"""
+
+from repro.control import RestApi
+from repro.mem import MIB
+from repro.obs import MetricsRegistry, parse_prometheus
+from repro.testbed import Testbed
+
+KIB = 1024
+BAR_WIDTH = 40
+
+
+def bar_chart(title, rows):
+    """Aligned ASCII horizontal bars for {label: value} rows."""
+    print(f"\n{title}")
+    if not rows:
+        print("  (no samples)")
+        return
+    label_width = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows) or 1
+    for label, value in rows:
+        bar = "#" * max(1 if value else 0, round(value / peak * BAR_WIDTH))
+        print(f"  {label:<{label_width}}  {value:>10,.0f}  {bar}")
+
+
+def main() -> None:
+    print("Building the prototype and driving traffic...")
+    testbed = Testbed()
+    attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+    window = testbed.remote_window_range(attachment)
+    payload = bytes(range(256)) * 64  # 16 KiB
+    for index in range(8):
+        testbed.node0.run_store(window.start + index * len(payload), payload)
+    for index in range(8):
+        testbed.node0.run_load(window.start + index * len(payload))
+
+    print("Wiring the registry into the REST API and scraping "
+          "/v1/metrics...")
+    registry = MetricsRegistry()
+    testbed.register_observability(registry)
+    api = RestApi(testbed.plane, registry=registry)
+    status, body = api.handle(
+        "GET", "/v1/metrics", token=testbed.admin_token
+    )
+    assert status == 200, f"scrape failed: {body}"
+    print(f"  content type: {body['content_type']}")
+
+    # A real scraper would hand the body to its exposition parser; we
+    # use the strict one the test suite trusts.
+    parsed = parse_prometheus(body["body"])
+    print(
+        f"  scraped {len(parsed['samples'])} series across "
+        f"{len(parsed['types'])} metric families"
+    )
+
+    def series(family):
+        return [
+            (dict(labels), value)
+            for (name, labels), value in sorted(parsed["samples"].items())
+            if name == family
+        ]
+
+    mix = []
+    for family, verb in (("bus_loads", "loads"), ("bus_stores", "stores")):
+        for labels, value in series(family):
+            if value:
+                mix.append((f"{labels['node']} {verb}", value))
+    bar_chart("per-node load/store mix (scraped)", mix)
+
+    wire = [
+        (labels["link"], value)
+        for labels, value in series("link_bytes_sent")
+        if value
+    ]
+    bar_chart("bytes on the wire per link (scraped)", wire)
+
+    # The exposition reflects live counters: scrape again after more
+    # traffic and the deltas show up.
+    for _ in range(16):
+        testbed.node0.run_load(window.start)
+    _status, body = api.handle(
+        "GET", "/v1/metrics", token=testbed.admin_token
+    )
+    reparsed = parse_prometheus(body["body"])
+
+    def loads_of(samples):
+        return samples[
+            ("bus_loads", (("bus", "node0.bus"), ("node", "node0")))
+        ]
+
+    before = loads_of(parsed["samples"])
+    after = loads_of(reparsed["samples"])
+    print(
+        f"\nsecond scrape: node0 bus_loads {before:.0f} -> {after:.0f} "
+        f"(+{after - before:.0f} since the first scrape) — scrape OK"
+    )
+
+
+if __name__ == "__main__":
+    main()

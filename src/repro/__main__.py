@@ -7,6 +7,8 @@ Usage::
     python -m repro all                  # every figure (serial)
     python -m repro demo                 # attach/detach walk-through
     python -m repro trace stream         # traced run + Chrome-trace artifacts
+    python -m repro trace chaos --scenario link-kill-failover
+    python -m repro metrics stream       # Prometheus exposition + events + profile
     python -m repro figures --jobs auto  # parallel + cached regeneration
     python -m repro sweep slice:fig8.config --sweep kind=local,scale-out \\
         --set samples=30000              # fan a target out over a grid
@@ -140,12 +142,16 @@ def _run_trace(argv) -> int:
         description=(
             "Run one workload with end-to-end tracing enabled and write "
             "the Chrome-trace JSON (Perfetto/chrome://tracing), the "
-            "metrics snapshot JSON and a terminal summary."
+            "metrics snapshot JSON and a terminal summary. The 'chaos' "
+            "workload traces a resilience scenario (--scenario) and "
+            "additionally writes its event journal."
         ),
     )
+    from .resilience import SCENARIOS
+
     parser.add_argument(
         "workload",
-        choices=sorted(_TRACE_WORKLOADS),
+        choices=sorted(_TRACE_WORKLOADS) + ["chaos"],
         nargs="?",
         help="workload to trace",
     )
@@ -163,6 +169,18 @@ def _run_trace(argv) -> int:
         help="trace 1 in N transactions (default: every transaction)",
     )
     parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="link-kill-failover",
+        help="resilience scenario for the chaos workload",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="scenario seed for the chaos workload",
+    )
+    parser.add_argument(
         "--out",
         default="trace-artifacts",
         help="output directory for the exported artifacts",
@@ -171,6 +189,8 @@ def _run_trace(argv) -> int:
     if args.workload is None:
         parser.print_help()
         return 0
+    if args.workload == "chaos":
+        return _trace_chaos(args)
     nbytes = max(256, args.nbytes - args.nbytes % 256)
 
     from .obs import (
@@ -206,6 +226,183 @@ def _run_trace(argv) -> int:
     print(f"chrome trace : {trace_path}")
     print(f"metrics json : {metrics_path}")
     return 0
+
+
+def _trace_chaos(args) -> int:
+    """Traced resilience scenario: validated Chrome trace + journal."""
+    from .obs import (
+        chrome_trace,
+        disable_tracing,
+        enable_tracing,
+        validate_chrome_trace,
+    )
+    from .resilience import run_scenario
+
+    os.makedirs(args.out, exist_ok=True)
+    tracer = enable_tracing(sample_every=args.sample)
+    try:
+        result = run_scenario(args.scenario, seed=args.seed)
+    finally:
+        disable_tracing()
+
+    document = chrome_trace(tracer)
+    count = validate_chrome_trace(document)
+
+    stem = f"chaos-{args.scenario}"
+    trace_path = os.path.join(args.out, f"trace-{stem}.json")
+    metrics_path = os.path.join(args.out, f"metrics-{stem}.json")
+    events_path = os.path.join(args.out, f"events-{stem}.jsonl")
+    with open(trace_path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    with open(metrics_path, "w") as handle:
+        json.dump(result["metrics"], handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(events_path, "w") as handle:
+        for event in result["events"]:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+
+    verdict = "OK" if result["verified"] else "FAILED"
+    print(f"chaos {args.scenario} (seed {args.seed}): {verdict}")
+    print(
+        f"traced {len(tracer.transactions)} transactions, "
+        f"{count} chrome-trace events (validated), "
+        f"{len(result['events'])} journal events"
+    )
+    slo = result.get("slo")
+    if slo is not None:
+        print(f"SLOs: {slo['total'] - slo['breached']}/{slo['total']} ok")
+    print(f"chrome trace : {trace_path}")
+    print(f"metrics json : {metrics_path}")
+    print(f"event journal: {events_path}")
+    return 0 if result["verified"] else 1
+
+
+# -- telemetry pipeline -----------------------------------------------------------
+
+
+def _run_metrics(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description=(
+            "Run one workload with the full telemetry pipeline enabled "
+            "(metrics registry + structured event log + sim-time "
+            "profiler) and print the registry in Prometheus text "
+            "exposition format. Writes the exposition, the JSON-lines "
+            "event journal and a flame-graph folded-stacks profile; "
+            "--slo evaluates declarative objectives against the final "
+            "registry and exits non-zero on breach."
+        ),
+    )
+    parser.add_argument(
+        "workload",
+        choices=sorted(_TRACE_WORKLOADS),
+        nargs="?",
+        help="workload to run with telemetry on",
+    )
+    parser.add_argument(
+        "--bytes",
+        type=int,
+        default=128 * 1024,
+        dest="nbytes",
+        help="workload size in bytes (rounded down to 256 B, min 256)",
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=1024,
+        help="profiler sampling stride in kernel events",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        dest="slos",
+        help="SLO spec 'name: metric{k=v,...} op threshold' (repeatable); "
+             "any breach makes the exit code non-zero",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="profiler components to show in the top-N table",
+    )
+    parser.add_argument(
+        "--out",
+        default="metrics-artifacts",
+        help="output directory for the exported artifacts",
+    )
+    args = parser.parse_args(argv)
+    if args.workload is None:
+        parser.print_help()
+        return 0
+    nbytes = max(256, args.nbytes - args.nbytes % 256)
+
+    from .obs import (
+        MetricsRegistry,
+        disable_events,
+        disable_profiling,
+        enable_events,
+        enable_profiling,
+        parse_prometheus,
+        render_prometheus,
+    )
+    from .obs.slo import SloEngine, parse_slo_specs
+
+    specs = parse_slo_specs(args.slos)
+
+    os.makedirs(args.out, exist_ok=True)
+    enable_events()
+    enable_profiling(stride=args.stride)
+    try:
+        testbed = _TRACE_WORKLOADS[args.workload](nbytes)
+    finally:
+        profiler = disable_profiling()
+
+    registry = MetricsRegistry()
+    testbed.register_observability(registry)
+
+    # Evaluate SLOs before closing the journal so breach events land in
+    # it with the workload as correlation context.
+    report = None
+    if specs:
+        report = SloEngine(specs).evaluate(
+            registry,
+            now=testbed.sim.now,
+            context={"workload": args.workload},
+        )
+    log = disable_events()
+
+    exposition = render_prometheus(registry)
+    parsed = parse_prometheus(exposition)  # strict self-check
+
+    prom_path = os.path.join(args.out, f"metrics-{args.workload}.prom")
+    events_path = os.path.join(args.out, f"events-{args.workload}.jsonl")
+    folded_path = os.path.join(args.out, f"profile-{args.workload}.folded")
+    with open(prom_path, "w") as handle:
+        handle.write(exposition)
+    log.write_jsonl(events_path)
+    profiler.write_folded(folded_path)
+
+    print(exposition, end="")
+    print()
+    print(profiler.top_table(args.top).render())
+    if report is not None:
+        print()
+        print(report.render())
+    print()
+    print(
+        f"{len(parsed['samples'])} series across "
+        f"{len(parsed['types'])} families (strict parse OK); "
+        f"{log.total} journal events ({log.evicted} evicted); "
+        f"{profiler.samples_taken} profiler samples @ stride {args.stride}"
+    )
+    print(f"exposition   : {prom_path}")
+    print(f"event journal: {events_path}")
+    print(f"folded stacks: {folded_path}")
+    return report.exit_code() if report is not None else 0
 
 
 # -- sweep-engine subcommands ----------------------------------------------------
@@ -499,6 +696,13 @@ def _run_chaos(argv) -> int:
             f"in {report['recovery_time_s'] * 1e6:.1f} us, "
             f"{report['replayed_bytes']} bytes replayed"
         )
+    if "slo" in result:
+        slo = result["slo"]
+        print(
+            f"  SLOs               {slo['total'] - slo['breached']}"
+            f"/{slo['total']} ok, {len(result.get('events', []))} "
+            f"journal events"
+        )
     if args.out is not None:
         os.makedirs(args.out, exist_ok=True)
         path = os.path.join(args.out, f"chaos-{args.scenario}.json")
@@ -514,6 +718,7 @@ def _run_chaos(argv) -> int:
 #: Subcommands with their own argv (dispatched before the main parser).
 _SUBCOMMANDS = {
     "trace": _run_trace,
+    "metrics": _run_metrics,
     "figures": _run_figures,
     "sweep": _run_sweep,
     "chaos": _run_chaos,
@@ -538,6 +743,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "trace",
         help="traced workload run with Chrome-trace + metrics artifacts",
+        add_help=False,
+    )
+    sub.add_parser(
+        "metrics",
+        help="telemetry run: Prometheus exposition, event log, profiler",
         add_help=False,
     )
     sub.add_parser(

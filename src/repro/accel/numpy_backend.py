@@ -8,6 +8,11 @@ association order as the reference (``np.cumsum`` accumulates
 sequentially; elementwise ops match scalar ops), so results stay
 bit-identical — the property ``tests/test_accel_equivalence.py`` and
 ``tests/test_accel_backends.py`` enforce.
+
+A kernel whose per-element work is cheaper than the list<->array
+round-trips has no crossover at all; such kernels (currently
+``bank_service_windows``) stay on the reference path unconditionally
+rather than carrying a threshold that never wins.
 """
 
 from __future__ import annotations
@@ -121,21 +126,13 @@ def sort_values(values: Sequence[float]) -> List[float]:
     return np.sort(np.asarray(values, dtype=np.float64)).tolist()
 
 
-def bank_service_windows(
-    starts_s: Sequence[float],
-    line_counts: Sequence[int],
-    banks: int,
-    access_latency_s: float,
-    line_transfer_s: float,
-) -> Tuple[List[float], List[int]]:
-    """Vectorized burst service windows (see reference docstring)."""
-    if len(starts_s) < VECTOR_MIN:
-        return _reference.bank_service_windows(
-            starts_s, line_counts, banks, access_latency_s, line_transfer_s
-        )
-    service = access_latency_s + line_transfer_s
-    completions = np.asarray(starts_s, dtype=np.float64) + service
-    slots = np.minimum(
-        np.asarray(line_counts, dtype=np.int64), np.int64(banks)
-    )
-    return completions.tolist(), slots.tolist()
+# bank_service_windows: the reference path wins at EVERY batch size, so
+# this backend delegates unconditionally (a direct alias — the perf
+# harness asserts the delegation by identity). The kernel does one
+# float add and one int min per element; measured at batch 16Ki the
+# list->array->list round-trips alone (~17 us asarray float + ~13 us
+# tolist float per 16Ki) cost more than the whole reference listcomp
+# (~21 us), so no numpy formulation of this kernel has a crossover.
+# The other kernels above vectorize real per-element work (cumsum,
+# digest arithmetic, sorting) and keep their thresholds.
+bank_service_windows = _reference.bank_service_windows

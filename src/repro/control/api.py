@@ -19,6 +19,8 @@ import re
 from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ReproError, http_status_for
+from ..obs import events as _events
+from ..obs.promtext import CONTENT_TYPE, render_prometheus
 from .orchestrator import ControlPlane
 from .security import Permission
 
@@ -39,6 +41,8 @@ class RestApi:
 
         GET    /v1/state
         GET    /v1/health         (health monitor summary, if wired)
+        GET    /v1/metrics        (Prometheus text exposition, if wired)
+        GET    /v1/events         (structured event journal, if enabled)
         GET    /v1/attachments
         POST   /v1/attachments    {"compute_host", "size",
                                    ["memory_host"], ["bonded"]}
@@ -47,8 +51,13 @@ class RestApi:
         POST   /v1/faults         {"campaign", "attachment", ...params}
 
     ``monitor`` (a :class:`~repro.control.health.HealthMonitor`) backs
-    ``/v1/health``; ``fault_hook`` backs ``/v1/faults``. Both are
-    optional — unwired routes answer with a structured 503.
+    ``/v1/health``; ``fault_hook`` backs ``/v1/faults``; ``registry``
+    (a :class:`~repro.obs.MetricsRegistry`) backs ``/v1/metrics``. All
+    are optional — unwired routes answer with a structured 503.
+
+    ``GET /v1/metrics`` is the scrape endpoint: the body carries
+    ``content_type`` (the exposition content type a socket binding
+    must answer with) and ``body`` (the rendered exposition text).
     """
 
     def __init__(
@@ -56,10 +65,12 @@ class RestApi:
         plane: ControlPlane,
         monitor: Optional[object] = None,
         fault_hook: Optional[FaultHook] = None,
+        registry: Optional[object] = None,
     ):
         self.plane = plane
         self.monitor = monitor
         self.fault_hook = fault_hook
+        self.registry = registry
 
     def handle(
         self,
@@ -88,6 +99,12 @@ class RestApi:
 
         if path == "/v1/health" and method == "GET":
             return self._health(token)
+
+        if path == "/v1/metrics" and method == "GET":
+            return self._metrics(token)
+
+        if path == "/v1/events" and method == "GET":
+            return self._events(token)
 
         if path == "/v1/faults" and method == "POST":
             return self._inject_fault(body, token)
@@ -159,6 +176,33 @@ class RestApi:
         if self.monitor is None:
             return 200, {"status": "unmonitored", "attachments": []}
         return 200, self.monitor.describe()
+
+    # -- telemetry surface ----------------------------------------------------------
+    def _metrics(self, token: Optional[str]) -> Tuple[int, Dict]:
+        self.plane.acl.require(token, Permission.READ_STATE)
+        if self.registry is None:
+            return 503, {
+                "error": "no metrics registry wired to this API",
+                "code": "obs/no-registry",
+            }
+        return 200, {
+            "content_type": CONTENT_TYPE,
+            "body": render_prometheus(self.registry),
+        }
+
+    def _events(self, token: Optional[str]) -> Tuple[int, Dict]:
+        self.plane.acl.require(token, Permission.READ_STATE)
+        log = _events.active_event_log()
+        if log is None:
+            return 503, {
+                "error": "event logging is not enabled",
+                "code": "obs/no-event-log",
+            }
+        return 200, {
+            "total": log.total,
+            "evicted": log.evicted,
+            "events": log.to_dicts(),
+        }
 
     def _inject_fault(
         self, body: Dict, token: Optional[str]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from ..core.flow import base_network_id
 from ..errors import RemoteMemoryError
+from ..obs import events as _events
 from ..obs import trace as _trace
 from .orchestrator import Attachment, UnknownAttachmentError
 
@@ -149,6 +150,15 @@ class HealthMonitor:
                 "control",
                 attachment=watch.attachment.attachment_id,
             )
+        if _events.ENABLED:
+            _events.emit(
+                self.testbed.sim.now,
+                "health.fault",
+                attachment=watch.attachment.attachment_id,
+                state=watch.state.value,
+                failures=watch.failures,
+                reason=reason,
+            )
 
     # -- queries --------------------------------------------------------------------
     def _watch(self, attachment_id: int) -> _Watch:
@@ -234,6 +244,17 @@ class HealthMonitor:
                 old=attachment_id,
                 new=new.attachment_id,
                 donor=donor,
+            )
+        if _events.ENABLED:
+            _events.emit(
+                sim.now,
+                "health.failover",
+                attachment=attachment_id,
+                new_attachment=new.attachment_id,
+                old_memory_host=old.memory_host,
+                new_memory_host=donor,
+                recovery_time_s=recovery,
+                replayed_bytes=replayed,
             )
         return report
 

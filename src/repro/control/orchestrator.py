@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.flow import ActiveFlow, FlowTable
 from ..errors import ReproError
+from ..obs import events as _events
 from ..mem.address import AddressError, AddressRange, AddressSpaceAllocator
 from ..mem.numa import LOCAL_DISTANCE
 from ..osmodel.agent import AttachPlan, StealGrant, ThymesisFlowAgent
@@ -117,6 +118,15 @@ class ControlPlane:
         self._attachments: Dict[int, Attachment] = {}
         self._next_attachment = 1
         self.audit_log: List[str] = []
+        #: Sim-time source for structured events. The plane itself has
+        #: no simulator reference; testbeds wire this to ``sim.now`` so
+        #: control events share the datapath timeline. Unwired planes
+        #: stamp t=0, keeping pure-control tests simulator-free.
+        self.clock: Optional[Callable[[], float]] = None
+
+    def _now(self) -> float:
+        clock = self.clock
+        return clock() if clock is not None else 0.0
 
     # -- inventory ------------------------------------------------------------------
     def register_host(
@@ -256,6 +266,26 @@ class ControlPlane:
             f"{memory_host} -> {compute_host}"
             + (" (bonded)" if bonded else "")
         )
+        if _events.ENABLED:
+            now = self._now()
+            _events.emit(
+                now,
+                "control.steal",
+                attachment=attachment.attachment_id,
+                grant=grant.grant_id,
+                memory_host=memory_host,
+                bytes=size,
+            )
+            _events.emit(
+                now,
+                "control.attach",
+                attachment=attachment.attachment_id,
+                compute_host=compute_host,
+                memory_host=memory_host,
+                bytes=size,
+                network_id=flow.network_id,
+                bonded=bonded,
+            )
         return attachment
 
     def detach(
@@ -314,6 +344,16 @@ class ControlPlane:
         self.audit_log.append(
             f"detach #{attachment_id}" + (" (forced)" if force else "")
         )
+        if _events.ENABLED:
+            _events.emit(
+                self._now(),
+                "control.detach",
+                attachment=attachment_id,
+                compute_host=attachment.compute_host,
+                memory_host=attachment.memory_host,
+                network_id=attachment.flow.network_id,
+                forced=force,
+            )
 
     def _quiesce_attachment_llcs(self, attachment: Attachment) -> None:
         """Reset both sides' LLC channels after a forced detach.

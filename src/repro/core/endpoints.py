@@ -20,6 +20,7 @@ from typing import Callable, Dict, Generator, List, Optional
 
 from ..errors import RemoteMemoryError
 from ..mem.address import AddressRange, CACHELINE_BYTES
+from ..obs import events as _events
 from ..obs import trace as _trace
 from ..opencapi.ports import OpenCapiC1Port
 from ..opencapi.transactions import MemTransaction, ResponseCode, TLCommand
@@ -206,6 +207,15 @@ class ComputeEndpoint:
                         self.sim.now, txn.base_txn_id, "endpoint.retry",
                         self.name,
                     )
+                if _events.ENABLED:
+                    _events.emit(
+                        self.sim.now,
+                        "endpoint.retry",
+                        endpoint=self.name,
+                        txn=txn.base_txn_id,
+                        attempt=attempt,
+                        network_id=outbound.network_id,
+                    )
             response = yield from self._attempt(outbound, started)
             if response is not None:
                 break
@@ -225,6 +235,16 @@ class ComputeEndpoint:
                 attempts=attempts,
                 elapsed_s=self.sim.now - started,
             )
+            if _events.ENABLED:
+                _events.emit(
+                    self.sim.now,
+                    "endpoint.retries_exhausted",
+                    endpoint=self.name,
+                    txn=txn.base_txn_id,
+                    attempts=attempts,
+                    network_id=outbound.network_id,
+                    elapsed_s=self.sim.now - started,
+                )
             for listener in self._failure_listeners:
                 listener(self, error)
             raise error

@@ -1,6 +1,6 @@
 """repro.obs — end-to-end observability for the simulated stack.
 
-Three cooperating pieces (see ``docs/observability.md``):
+The cooperating pieces (see ``docs/observability.md``):
 
 * :mod:`repro.obs.trace` — a span-based transaction tracer. Every
   instrumented component marks the stage boundaries a transaction
@@ -16,6 +16,17 @@ Three cooperating pieces (see ``docs/observability.md``):
   (loadable in Perfetto / chrome://tracing), a flat metrics snapshot
   dict/JSON, and a human-readable end-of-run summary table built on
   :mod:`repro.obs.summary`.
+* :mod:`repro.obs.promtext` — Prometheus text-format exposition of the
+  registry plus the strict parser the tests round-trip through.
+* :mod:`repro.obs.events` — a bounded structured event journal
+  (JSON-lines) of control/resilience/endpoint happenings, with
+  sim-time and correlation ids linking events to trace spans.
+* :mod:`repro.obs.profiler` — a sampling profiler over the
+  discrete-event kernel attributing sim-time and host-time to
+  component/phase, exported as folded stacks for flame graphs.
+* :mod:`repro.obs.slo` — declarative service-level objectives
+  evaluated against the registry, with breach events and a CI exit
+  mode.
 
 Instrumentation is **off by default**: every call site is guarded by
 the module-level :data:`repro.obs.trace.ENABLED` flag, checked before
@@ -52,6 +63,34 @@ from .export import (
     write_chrome_trace,
     write_metrics_json,
 )
+from .promtext import (
+    CONTENT_TYPE,
+    PromParseError,
+    parse_prometheus,
+    render_prometheus,
+)
+from .events import (
+    Event,
+    EventLog,
+    active_event_log,
+    disable_events,
+    enable_events,
+    event_logging,
+    validate_event_jsonl,
+)
+from .profiler import (
+    SimProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profiling,
+)
+from .slo import (
+    SloEngine,
+    SloReport,
+    SloSpec,
+    parse_slo_specs,
+)
 
 __all__ = [
     "ENABLED",
@@ -73,4 +112,24 @@ __all__ = [
     "validate_chrome_trace",
     "write_metrics_json",
     "render_metrics_summary",
+    "CONTENT_TYPE",
+    "PromParseError",
+    "render_prometheus",
+    "parse_prometheus",
+    "Event",
+    "EventLog",
+    "enable_events",
+    "disable_events",
+    "active_event_log",
+    "event_logging",
+    "validate_event_jsonl",
+    "SimProfiler",
+    "enable_profiling",
+    "disable_profiling",
+    "active_profiler",
+    "profiling",
+    "SloSpec",
+    "SloEngine",
+    "SloReport",
+    "parse_slo_specs",
 ]

@@ -163,12 +163,42 @@ class HistogramMetric(_Metric):
         else:
             self.counts[int((value - self.low) / self._width)] += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (``q`` in [0, 100]).
+
+        Linear interpolation within the bucket holding the rank, with
+        every boundary case pinned to a defined value: an empty
+        histogram returns 0.0; ranks landing in the underflow region
+        return ``low``; ranks landing in the overflow region return
+        ``high`` (the histogram genuinely does not know more than the
+        bound the outlier crossed); a single-sample histogram
+        interpolates inside that sample's bucket for every q, so
+        p50/p99/p99.9 are all well-defined and lie within the bucket.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        if rank <= self.underflow:
+            return self.low
+        cumulative = self.underflow
+        for index, bucket in enumerate(self.counts):
+            if bucket and rank <= cumulative + bucket:
+                left = self.low + index * self._width
+                return left + (rank - cumulative) / bucket * self._width
+            cumulative += bucket
+        return self.high
+
     def sample(self) -> Dict[str, float]:
         base = self.qualified
         out = {
             f"{base}.count": self.count,
             f"{base}.total": self.total,
             f"{base}.mean": self.total / self.count if self.count else 0.0,
+            f"{base}.p50": self.quantile(50.0),
+            f"{base}.p99": self.quantile(99.0),
+            f"{base}.p999": self.quantile(99.9),
         }
         cumulative = self.underflow
         for index, bucket in enumerate(self.counts):
@@ -269,6 +299,15 @@ class MetricsRegistry:
             raise KeyError(qualified_name(name, _labelset(labels)))
         sample = metric.sample()
         return sample[metric.qualified] if metric.qualified in sample else sample
+
+    def metrics(self) -> List[_Metric]:
+        """Every registered metric object, in registration order.
+
+        This is the typed view exporters use (e.g. the Prometheus
+        text renderer, which needs kind and bucket structure rather
+        than the flattened snapshot).
+        """
+        return list(self._metrics.values())
 
     def __len__(self) -> int:
         return len(self._metrics)

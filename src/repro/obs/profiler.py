@@ -1,0 +1,230 @@
+"""Sampling profiler for the discrete-event kernel.
+
+Answers *which component is the simulation spending its time in* —
+both sim-time (who owns the event timeline: link pump, DRAM bank
+service, LLC, RMMU) and host-time (who is expensive to execute). The
+kernel's dispatch loop samples every ``stride``-th event: the profiler
+attributes the sim-time and host wall-clock elapsed since the previous
+sample to the component that owned the sampled event, classified into
+a coarse phase by its name.
+
+Sampling keeps overhead bounded and stride-proportional: between
+samples the only per-event cost in the hot loop is one local integer
+decrement, and when profiling is disabled it is a single local
+truthiness check. The output is statistical — with the default stride
+of 1024 a STREAM run yields hundreds of samples, plenty to rank
+components — and is emitted in two forms: a flame-graph-compatible
+folded-stacks file (``sim;phase;component count``, feed straight to
+``flamegraph.pl`` or speedscope) and a top-N table in a
+:class:`~repro.obs.summary.RunSummary`.
+
+Same guard-flag pattern as ``trace``/``events``; stdlib-only.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .summary import RunSummary
+
+__all__ = [
+    "PHASES",
+    "classify_phase",
+    "SimProfiler",
+    "enable_profiling",
+    "disable_profiling",
+    "active_profiler",
+    "profiling",
+]
+
+#: Coarse datapath phases, matched against component names in order.
+#: First substring hit wins; unmatched components land in "other".
+PHASES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("link", ("link", "pump", "serdes", "flit")),
+    ("dram", ("dram", "bank", "mem")),
+    ("llc", ("llc", "cache")),
+    ("rmmu", ("rmmu", "mmu", "translat")),
+    ("bus", ("bus", "noc", "switch", "fabric")),
+    ("endpoint", ("endpoint", "compute", "lender", "agent", "nic")),
+)
+
+
+def classify_phase(name: str) -> str:
+    lowered = name.lower()
+    for phase, needles in PHASES:
+        for needle in needles:
+            if needle in lowered:
+                return phase
+    return "other"
+
+
+def _target_name(target: Any) -> str:
+    """Best-effort component name for a sampled dispatch target."""
+    name = getattr(target, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    # Bound method: prefer the owner's name over the method's, so every
+    # handler of one component aggregates under that component.
+    owner = getattr(target, "__self__", None)
+    if owner is not None:
+        owner_name = getattr(owner, "name", None)
+        if isinstance(owner_name, str) and owner_name:
+            return owner_name
+        return type(owner).__name__
+    name = getattr(target, "__name__", None)
+    if isinstance(name, str) and name:
+        return name
+    return type(target).__name__
+
+
+class SimProfiler:
+    """Accumulates per-(phase, component) sim-time and host-time.
+
+    ``stride`` is the sampling period in kernel events. The kernel
+    calls :meth:`begin_run` when its dispatch loop starts and
+    :meth:`sample` every ``stride``-th event; everything else here is
+    reporting.
+    """
+
+    def __init__(self, stride: int = 1024):
+        if stride < 1:
+            raise ValueError("profiler stride must be >= 1")
+        self.stride = stride
+        # (phase, component) -> [samples, sim_s, host_s]
+        self._stats: Dict[Tuple[str, str], List[float]] = {}
+        self.samples_taken = 0
+        self.runs = 0
+        self._last_sim = 0.0
+        self._last_host = 0.0
+
+    def begin_run(self, now: float) -> None:
+        """Reset the inter-sample markers at dispatch-loop entry."""
+        self.runs += 1
+        self._last_sim = now
+        self._last_host = _time.perf_counter()
+
+    def sample(self, now: float, target: Any) -> None:
+        """Attribute time since the last sample to ``target``."""
+        host = _time.perf_counter()
+        # Resolve the name fresh every sample. Dispatch targets are
+        # often short-lived bound methods, so memoizing by ``id()``
+        # would mis-attribute samples once the allocator reuses an
+        # address; sampling is strided, so the getattr chain is cheap
+        # in aggregate.
+        name = _target_name(target)
+        key = (classify_phase(name), name)
+        stat = self._stats.get(key)
+        if stat is None:
+            self._stats[key] = stat = [0, 0.0, 0.0]
+        stat[0] += 1
+        stat[1] += now - self._last_sim
+        stat[2] += host - self._last_host
+        self.samples_taken += 1
+        self._last_sim = now
+        self._last_host = host
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self) -> Dict[Tuple[str, str], Tuple[int, float, float]]:
+        return {
+            key: (int(v[0]), v[1], v[2]) for key, v in self._stats.items()
+        }
+
+    def folded(self) -> str:
+        """Flame-graph folded-stacks text: ``sim;phase;name count``."""
+        lines = []
+        for (phase, name), (samples, _sim, _host) in sorted(
+            self._stats.items()
+        ):
+            frame = name.replace(";", "_").replace(" ", "_")
+            lines.append(f"sim;{phase};{frame} {int(samples)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_folded(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.folded())
+
+    def top_table(self, n: int = 10) -> RunSummary:
+        """Top-N components by attributed sim-time as a RunSummary."""
+        summary = RunSummary("sim-time profile")
+        total_sim = sum(v[1] for v in self._stats.values())
+        total_host = sum(v[2] for v in self._stats.values())
+        summary.section("totals")
+        summary.row("samples", self.samples_taken)
+        summary.row("stride", self.stride, "events")
+        summary.row("sim time attributed", total_sim, "s")
+        summary.row("host time attributed", total_host, "s")
+        ranked = sorted(
+            self._stats.items(), key=lambda item: item[1][1], reverse=True
+        )
+        summary.section(f"top {min(n, len(ranked))} by sim-time")
+        for (phase, name), (samples, sim_s, host_s) in ranked[:n]:
+            share = (100.0 * sim_s / total_sim) if total_sim > 0 else 0.0
+            summary.row(
+                f"{phase}:{name}",
+                f"{sim_s:.3e} s sim ({share:.1f}%), "
+                f"{host_s:.3e} s host, {int(samples)} samples",
+            )
+        return summary
+
+    def describe(self) -> Dict[str, Any]:
+        by_phase: Dict[str, Dict[str, Any]] = {}
+        for (phase, name), (samples, sim_s, host_s) in self._stats.items():
+            bucket = by_phase.setdefault(
+                phase, {"samples": 0, "sim_s": 0.0, "host_s": 0.0}
+            )
+            bucket["samples"] += int(samples)
+            bucket["sim_s"] += sim_s
+            bucket["host_s"] += host_s
+        return {
+            "stride": self.stride,
+            "samples": self.samples_taken,
+            "runs": self.runs,
+            "phases": by_phase,
+        }
+
+
+# -- module-level switch (same pattern as trace) ----------------------------------
+
+#: Hot-path guard checked once per dispatch-loop entry; the per-event
+#: cost while enabled is a local integer countdown in the kernel.
+ENABLED = False
+
+_PROFILER: Optional[SimProfiler] = None
+
+
+def enable_profiling(stride: int = 1024) -> SimProfiler:
+    """Install a fresh profiler and enable kernel sampling."""
+    global ENABLED, _PROFILER
+    _PROFILER = SimProfiler(stride=stride)
+    ENABLED = True
+    return _PROFILER
+
+
+def disable_profiling() -> Optional[SimProfiler]:
+    """Stop sampling; returns the profiler for reporting."""
+    global ENABLED, _PROFILER
+    profiler = _PROFILER
+    ENABLED = False
+    _PROFILER = None
+    return profiler
+
+
+def active_profiler() -> Optional[SimProfiler]:
+    return _PROFILER
+
+
+class profiling:
+    """Context manager for scoped profiling: yields the SimProfiler."""
+
+    def __init__(self, stride: int = 1024):
+        self.stride = stride
+        self.profiler: Optional[SimProfiler] = None
+
+    def __enter__(self) -> SimProfiler:
+        self.profiler = enable_profiling(stride=self.stride)
+        return self.profiler
+
+    def __exit__(self, *exc_info: Any) -> None:
+        disable_profiling()

@@ -1,0 +1,382 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the standard
+`text exposition format`__ (version 0.0.4) that every Prometheus-style
+scraper understands, and provides a **strict** parser of the same
+format used by the test suite to prove the rendering round-trips.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+
+Name mapping: the registry's dotted hierarchy (``endpoint.rtt_s``)
+becomes the Prometheus-legal ``endpoint_rtt_s`` — every character
+outside ``[a-zA-Z0-9_:]`` maps to ``_`` — and the original dotted name
+is preserved on the ``# HELP`` line so a scrape stays traceable to the
+registry. Labels keep their keys (sanitized the same way) and carry
+their values quoted with the standard ``\\``/``\"``/``\\n`` escapes.
+
+Histograms render the full conventional family: cumulative
+``_bucket{le="..."}`` series (underflow folds into the first bucket,
+overflow into ``+Inf``), plus ``_sum`` and ``_count``. The parser
+checks the invariants scrapers rely on: one ``# TYPE`` per family,
+declared before its samples; legal metric/label names; no duplicate
+series; bucket cumulativity; and ``_count`` equal to the ``+Inf``
+bucket.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import HistogramMetric, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PromParseError",
+    "metric_name",
+    "render_prometheus",
+    "parse_prometheus",
+]
+
+#: The content type a real HTTP exposition endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(?:\s+(-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class PromParseError(ValueError):
+    """Strict-parser rejection; message carries the offending line."""
+
+
+def metric_name(dotted: str) -> str:
+    """Sanitize a dotted registry name into a legal Prometheus name."""
+    name = _NAME_BAD.sub("_", dotted)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _label_name(key: str) -> str:
+    key = _LABEL_BAD.sub("_", key)
+    if not key or key[0].isdigit():
+        key = "_" + key
+    return key
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\":
+            if index + 1 >= len(value):
+                raise PromParseError(f"dangling escape in label {value!r}")
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise PromParseError(
+                    f"illegal escape \\{nxt} in label {value!r}"
+                )
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_label_name(k)}="{_escape_label(v)}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+# -- rendering --------------------------------------------------------------------
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the full registry in the text exposition format.
+
+    Runs every registered collector first (the pull side), so the
+    output reflects live component counters exactly like
+    ``registry.snapshot()`` does. An empty registry renders as the
+    empty string — a valid (sample-free) exposition.
+    """
+    registry.collect()
+    # Group metrics into families keyed by the sanitized name; a family
+    # has exactly one kind (TYPE) — a dotted-name collision that maps
+    # two kinds onto one family is a registry bug worth failing loudly.
+    families: Dict[str, Dict[str, Any]] = {}
+    for metric in registry.metrics():
+        name = metric_name(metric.name)
+        family = families.get(name)
+        if family is None:
+            families[name] = family = {
+                "kind": metric.kind,
+                "dotted": metric.name,
+                "metrics": [],
+            }
+        elif family["kind"] != metric.kind:
+            raise ValueError(
+                f"metrics {family['dotted']!r} and {metric.name!r} both "
+                f"render as {name!r} but have kinds "
+                f"{family['kind']}/{metric.kind}"
+            )
+        family["metrics"].append(metric)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        kind = family["kind"]
+        lines.append(f"# HELP {name} repro metric {family['dotted']!r}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in family["metrics"]:
+            labels = list(metric.labels)
+            if kind == "histogram":
+                lines.extend(_render_histogram(name, labels, metric))
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_histogram(
+    name: str, labels: List[Tuple[str, str]], metric: HistogramMetric
+) -> List[str]:
+    lines = []
+    cumulative = metric.underflow
+    for index, bucket in enumerate(metric.counts):
+        cumulative += bucket
+        edge = metric.low + (index + 1) * metric._width
+        pairs = labels + [("le", _format_value(edge))]
+        lines.append(f"{name}_bucket{_format_labels(pairs)} {cumulative}")
+    pairs = labels + [("le", "+Inf")]
+    lines.append(
+        f"{name}_bucket{_format_labels(pairs)} "
+        f"{cumulative + metric.overflow}"
+    )
+    lines.append(
+        f"{name}_sum{_format_labels(labels)} {_format_value(metric.total)}"
+    )
+    lines.append(f"{name}_count{_format_labels(labels)} {metric.count}")
+    return lines
+
+
+# -- strict parsing ---------------------------------------------------------------
+
+
+def _parse_value(text: str, line: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromParseError(f"bad sample value {text!r} in: {line}")
+
+
+def _parse_labels(block: str, line: str) -> Tuple[Tuple[str, str], ...]:
+    inner = block[1:-1]
+    if not inner:
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(inner):
+        match = _LABEL_PAIR_RE.match(inner, pos)
+        if match is None:
+            raise PromParseError(f"bad label syntax in: {line}")
+        pairs.append((match.group(1), _unescape_label(match.group(2))))
+        pos = match.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                raise PromParseError(f"bad label separator in: {line}")
+            pos += 1
+    names = [k for k, _v in pairs]
+    if len(set(names)) != len(names):
+        raise PromParseError(f"duplicate label name in: {line}")
+    return tuple(pairs)
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    """Resolve a sample name to its declared family, if any."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Strictly parse a text exposition; raises :class:`PromParseError`.
+
+    Enforced invariants:
+
+    * legal metric and label names, legal quoting/escapes, parseable
+      float values (``+Inf``/``-Inf``/``NaN`` included);
+    * exactly one ``# TYPE`` per family, declared **before** any of the
+      family's samples; every sample belongs to a declared family;
+    * no duplicate ``(name, labelset)`` series;
+    * per histogram labelset: ``le`` edges strictly increasing with
+      cumulative non-decreasing bucket values, a ``+Inf`` bucket, and
+      ``_count`` equal to it, plus a ``_sum`` series.
+
+    Returns ``{"types": {family: type}, "helps": {family: text},
+    "samples": {(name, labelset): value}}`` with labelsets as sorted
+    tuples of ``(key, value)`` pairs.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    sampled_families = set()
+
+    for raw in text.splitlines():
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise PromParseError(f"malformed TYPE line: {line}")
+            _h, _t, name, kind = parts
+            if not _NAME_RE.match(name):
+                raise PromParseError(f"illegal family name in: {line}")
+            if kind not in _TYPES:
+                raise PromParseError(f"unknown type {kind!r} in: {line}")
+            if name in types:
+                raise PromParseError(f"duplicate TYPE for family {name!r}")
+            if name in sampled_families:
+                raise PromParseError(
+                    f"TYPE for {name!r} declared after its samples"
+                )
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise PromParseError(f"malformed HELP line: {line}")
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PromParseError(f"malformed sample line: {line}")
+        name, label_block, value_text, _timestamp = match.groups()
+        labels = (
+            _parse_labels(label_block, line) if label_block else ()
+        )
+        value = _parse_value(value_text, line)
+        family = _family_of(name, types)
+        if family is None:
+            raise PromParseError(
+                f"sample {name!r} has no preceding TYPE declaration"
+            )
+        sampled_families.add(family)
+        key = (name, tuple(sorted(labels)))
+        if key in samples:
+            raise PromParseError(
+                f"duplicate series {name}{dict(labels)!r}"
+            )
+        samples[key] = value
+
+    _check_histograms(types, samples)
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+def _check_histograms(
+    types: Dict[str, str],
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        # Group this family's bucket series by their non-le labelset.
+        buckets: Dict[Tuple, List[Tuple[float, float]]] = {}
+        for (name, labels), value in samples.items():
+            if name != family + "_bucket":
+                continue
+            le = [v for k, v in labels if k == "le"]
+            if len(le) != 1:
+                raise PromParseError(
+                    f"histogram {family!r} bucket without le label"
+                )
+            rest = tuple(p for p in labels if p[0] != "le")
+            edge = _parse_value(le[0], f"{name}{dict(labels)!r}")
+            buckets.setdefault(rest, []).append((edge, value))
+        for rest, series in buckets.items():
+            series.sort(key=lambda pair: pair[0])
+            edges = [edge for edge, _v in series]
+            if len(set(edges)) != len(edges):
+                raise PromParseError(
+                    f"histogram {family!r} has duplicate le edges"
+                )
+            if not math.isinf(edges[-1]):
+                raise PromParseError(
+                    f"histogram {family!r} is missing its +Inf bucket"
+                )
+            values = [value for _e, value in series]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise PromParseError(
+                    f"histogram {family!r} buckets are not cumulative"
+                )
+            count = samples.get((family + "_count", rest))
+            if count is None:
+                raise PromParseError(
+                    f"histogram {family!r} is missing _count"
+                )
+            if count != values[-1]:
+                raise PromParseError(
+                    f"histogram {family!r}: _count {count} != +Inf "
+                    f"bucket {values[-1]}"
+                )
+            if (family + "_sum", rest) not in samples:
+                raise PromParseError(
+                    f"histogram {family!r} is missing _sum"
+                )

@@ -1,0 +1,273 @@
+"""Declarative SLO specs evaluated against the metrics registry.
+
+A spec is one line of grammar::
+
+    name: metric{label=value,...} op threshold
+
+for example::
+
+    remote-read-p99:  endpoint.rtt_p99_s{endpoint=cpu0} <= 2.5e-6
+    failover-fast:    health.last_recovery_time_s{component=health} <= 1e-5
+    goodput-floor:    link.delivered_frames{link=fabric0} >= 1000
+
+``op`` is one of ``<= < >= > ==``; ``metric`` is the registry's dotted
+name; the label block is optional and must match the series' label set
+exactly (the same qualified-name convention as
+``MetricsRegistry.snapshot()``).
+
+The engine evaluates specs against a registry snapshot — at run end,
+or live on a sim-time cadence via :func:`watch`. A missing metric is a
+breach (an SLO over a series that never materialized is itself a
+signal, not a pass). Breaches emit ``slo.breach`` events into the
+structured event log when it is enabled, carrying the spec, observed
+value, threshold, and any caller-provided correlation context — which
+is how a CI chaos run links "recovery took too long" back to the
+specific failover event. :meth:`SloReport.exit_code` gives CI its
+non-zero exit mode.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import events as _events
+from .metrics import MetricsRegistry, qualified_name
+
+__all__ = [
+    "SloSpec",
+    "SloResult",
+    "SloReport",
+    "SloEngine",
+    "parse_slo_specs",
+]
+
+_SPEC_RE = re.compile(
+    r"""^\s*
+        (?P<name>[A-Za-z0-9_.\-]+)\s*:\s*
+        (?P<metric>[A-Za-z0-9_.\-]+)\s*
+        (?:\{(?P<labels>[^}]*)\})?\s*
+        (?P<op><=|>=|==|<|>)\s*
+        (?P<threshold>[^\s]+)\s*$""",
+    re.VERBOSE,
+)
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "==": lambda value, threshold: value == threshold,
+}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed objective: ``name: metric{labels} op threshold``."""
+
+    name: str
+    metric: str
+    labels: Tuple[Tuple[str, str], ...]
+    op: str
+    threshold: float
+
+    @classmethod
+    def parse(cls, text: str) -> "SloSpec":
+        match = _SPEC_RE.match(text)
+        if match is None:
+            raise ValueError(f"bad SLO spec: {text!r}")
+        label_block = match.group("labels")
+        labels: List[Tuple[str, str]] = []
+        if label_block and label_block.strip():
+            for pair in label_block.split(","):
+                if "=" not in pair:
+                    raise ValueError(
+                        f"bad label {pair!r} in SLO spec: {text!r}"
+                    )
+                key, _eq, value = pair.partition("=")
+                labels.append((key.strip(), value.strip().strip('"')))
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise ValueError(
+                f"bad threshold {match.group('threshold')!r} "
+                f"in SLO spec: {text!r}"
+            )
+        return cls(
+            name=match.group("name"),
+            metric=match.group("metric"),
+            labels=tuple(sorted(labels)),
+            op=match.group("op"),
+            threshold=threshold,
+        )
+
+    @property
+    def qualified(self) -> str:
+        """The snapshot key this spec reads."""
+        return qualified_name(self.metric, self.labels)
+
+    def check(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "labels": dict(self.labels),
+            "op": self.op,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """One spec's verdict against one snapshot."""
+
+    spec: SloSpec
+    ok: bool
+    value: Optional[float]
+    reason: str
+
+    def describe(self) -> Dict[str, Any]:
+        record = self.spec.describe()
+        record.update(
+            {"ok": self.ok, "value": self.value, "reason": self.reason}
+        )
+        return record
+
+
+class SloReport:
+    """All verdicts from one evaluation pass."""
+
+    def __init__(self, results: List[SloResult], now: float):
+        self.results = results
+        self.now = now
+
+    @property
+    def breaches(self) -> List[SloResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.breaches
+
+    def exit_code(self) -> int:
+        """0 when every objective held; 1 otherwise (for CI)."""
+        return 0 if self.ok else 1
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "t": self.now,
+            "ok": self.ok,
+            "total": len(self.results),
+            "breached": len(self.breaches),
+            "results": [result.describe() for result in self.results],
+        }
+
+    def render(self) -> str:
+        lines = [f"SLO report @ t={self.now:g}s: "
+                 f"{len(self.results) - len(self.breaches)}/"
+                 f"{len(self.results)} ok"]
+        for result in self.results:
+            verdict = "ok    " if result.ok else "BREACH"
+            spec = result.spec
+            shown = "absent" if result.value is None else f"{result.value:g}"
+            lines.append(
+                f"  [{verdict}] {spec.name}: {spec.qualified} "
+                f"{spec.op} {spec.threshold:g} (observed {shown})"
+            )
+        return "\n".join(lines)
+
+
+class SloEngine:
+    """Evaluates a fixed set of specs against registry snapshots."""
+
+    def __init__(self, specs: Sequence[SloSpec]):
+        self.specs = list(specs)
+
+    def evaluate(
+        self,
+        registry: MetricsRegistry,
+        now: float = 0.0,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> SloReport:
+        """One evaluation pass; breaches emit ``slo.breach`` events.
+
+        ``context`` adds correlation fields (attachment ids, scenario
+        names) to every breach event so the journal links the breach
+        to the run that caused it.
+        """
+        snapshot = registry.snapshot()
+        results = []
+        for spec in self.specs:
+            value = snapshot.get(spec.qualified)
+            if value is None:
+                ok = False
+                reason = "metric absent from registry"
+            else:
+                ok = spec.check(value)
+                reason = "within objective" if ok else (
+                    f"observed {value:g} violates "
+                    f"{spec.op} {spec.threshold:g}"
+                )
+            results.append(SloResult(spec, ok, value, reason))
+            if not ok and _events.ENABLED:
+                _events.emit(
+                    now,
+                    "slo.breach",
+                    slo=spec.name,
+                    metric=spec.qualified,
+                    op=spec.op,
+                    threshold=spec.threshold,
+                    value=value,
+                    reason=reason,
+                    **(context or {}),
+                )
+        return SloReport(results, now)
+
+    def watch(
+        self,
+        sim: Any,
+        registry: MetricsRegistry,
+        period_s: float,
+        ticks: int,
+        on_report: Optional[Any] = None,
+    ) -> List[SloReport]:
+        """Schedule ``ticks`` live evaluations every ``period_s``.
+
+        Bounded by design: a fixed tick count means the watcher never
+        keeps the event loop alive on its own, so ``sim.run()`` still
+        drains. Reports accumulate into the returned list as the sim
+        reaches each tick; breaches feed the event log exactly like
+        end-of-run evaluation.
+        """
+        if period_s <= 0:
+            raise ValueError("watch period must be > 0")
+        if ticks < 1:
+            raise ValueError("watch ticks must be >= 1")
+        reports: List[SloReport] = []
+
+        def _tick() -> None:
+            report = self.evaluate(registry, now=sim.now)
+            reports.append(report)
+            if on_report is not None:
+                on_report(report)
+            if len(reports) < ticks:
+                sim.schedule(period_s, _tick)
+
+        sim.schedule(period_s, _tick)
+        return reports
+
+
+def parse_slo_specs(lines: Sequence[str]) -> List[SloSpec]:
+    """Parse spec lines, skipping blanks and ``#`` comments."""
+    specs = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        specs.append(SloSpec.parse(stripped))
+    return specs

@@ -72,6 +72,19 @@ class _TxnIdCounter:
 _txn_ids = _TxnIdCounter(1)
 
 
+def reset_txn_ids(start: int = 1) -> None:
+    """Rewind the global transaction-id counter.
+
+    For deterministic harnesses (chaos scenarios, differential tests)
+    that embed transaction ids in their artifacts: rewinding at
+    scenario setup makes a seeded run's ids independent of whatever
+    ran earlier in the same process. Only safe when no transactions
+    from a previous testbed are still in flight — i.e. call it before
+    building the testbed, never mid-run.
+    """
+    _txn_ids.value = start
+
+
 def _next_txn_id() -> int:
     return _txn_ids.take()
 

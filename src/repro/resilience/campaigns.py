@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Type
 
 from ..errors import ReproError
 from ..net.faults import FaultInjector
+from ..obs import events as _events
 from ..sim.rng import SeededRNG
 
 __all__ = [
@@ -68,6 +69,20 @@ class FaultCampaign:
     def describe(self) -> Dict:
         return {"campaign": self.name, "at_s": self.at_s}
 
+    def _fire(self, sim, kind: str, fields: Dict, action, *args):
+        """Run a scheduled fault action, journaling it at fire time.
+
+        The event is emitted inside the scheduled call — not at arm
+        time — so the journal records the sim-time the fault actually
+        took effect, in event order with everything else. Schedule
+        order and the action itself are unchanged, so seeded chaos
+        runs stay byte-identical. ``fields`` ride along positionally
+        because ``sim.schedule`` forwards positional args only.
+        """
+        action(*args)
+        if _events.ENABLED:
+            _events.emit(sim.now, kind, campaign=self.name, **fields)
+
 
 @dataclass(frozen=True)
 class LinkKill(FaultCampaign):
@@ -77,7 +92,8 @@ class LinkKill(FaultCampaign):
 
     def arm(self, sim, injectors, agent=None) -> None:
         for injector in injectors:
-            sim.schedule(self.at_s, injector.set_down, True)
+            sim.schedule(self.at_s, self._fire, sim, "fault.link_down",
+                         {}, injector.set_down, True)
 
 
 @dataclass(frozen=True)
@@ -89,9 +105,10 @@ class LinkFlap(FaultCampaign):
 
     def arm(self, sim, injectors, agent=None) -> None:
         for injector in injectors:
-            sim.schedule(self.at_s, injector.set_down, True)
-            sim.schedule(self.at_s + self.duration_s,
-                         injector.set_down, False)
+            sim.schedule(self.at_s, self._fire, sim, "fault.link_down",
+                         {}, injector.set_down, True)
+            sim.schedule(self.at_s + self.duration_s, self._fire, sim,
+                         "fault.link_up", {}, injector.set_down, False)
 
     def describe(self) -> Dict:
         return {**super().describe(), "duration_s": self.duration_s}
@@ -108,9 +125,13 @@ class Brownout(FaultCampaign):
     def arm(self, sim, injectors, agent=None) -> None:
         for injector in injectors:
             previous = injector.drop_probability
-            sim.schedule(self.at_s, injector.set_drop_probability,
+            sim.schedule(self.at_s, self._fire, sim, "fault.brownout",
+                         {"drop_probability": self.drop_probability},
+                         injector.set_drop_probability,
                          self.drop_probability)
-            sim.schedule(self.at_s + self.duration_s,
+            sim.schedule(self.at_s + self.duration_s, self._fire, sim,
+                         "fault.restored",
+                         {"drop_probability": previous},
                          injector.set_drop_probability, previous)
 
     def describe(self) -> Dict:
@@ -129,11 +150,13 @@ class LenderCrash(FaultCampaign):
 
     def arm(self, sim, injectors, agent=None) -> None:
         for injector in injectors:
-            sim.schedule(self.at_s, injector.set_down, True)
+            sim.schedule(self.at_s, self._fire, sim, "fault.link_down",
+                         {}, injector.set_down, True)
         if agent is not None:
             def crash():
                 agent.crashed = True
-            sim.schedule(self.at_s, crash)
+            sim.schedule(self.at_s, self._fire, sim, "fault.lender_crash",
+                         {"host": agent.hostname}, crash)
 
 
 CAMPAIGNS: Dict[str, Type[FaultCampaign]] = {

@@ -17,13 +17,16 @@ from typing import Callable, Dict
 from ..control.health import HealthMonitor
 from ..core.endpoints import RetryPolicy
 from ..errors import RemoteMemoryError, ReproError
+from ..obs import events as _events
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SloEngine, parse_slo_specs
+from ..opencapi.transactions import reset_txn_ids
 from ..sim.rng import SeededRNG
 from ..testbed.rack import RackTestbed
 from .campaigns import Brownout, LinkFlap, LinkKill, ensure_injector
 from .journal import ResilientBuffer
 
-__all__ = ["SCENARIOS", "run_scenario"]
+__all__ = ["SCENARIOS", "SCENARIO_SLOS", "run_scenario"]
 
 KIB = 1024
 
@@ -35,9 +38,67 @@ _POLICY = RetryPolicy(
     backoff_max_s=20e-6,
 )
 
+#: Per-scenario service-level objectives, evaluated against the final
+#: registry snapshot. ``zero-faults`` in the kill scenario is the CI
+#: canary: a link kill *must* record at least one datapath failure, so
+#: that objective deterministically breaches — proving breach
+#: detection and its correlated event-log entry end to end. The other
+#: objectives are real invariants: exactly one failover heals the
+#: attachment, the journal replays the buffer, and recovery stays
+#: inside a generous 5 ms ceiling.
+SCENARIO_SLOS: Dict[str, tuple] = {
+    "link-kill-failover": (
+        "zero-faults: health.failures_observed{component=health} == 0",
+        "single-failover: health.failovers{component=health} <= 1",
+        "journal-replayed: health.replayed_bytes{component=health} >= 1",
+        "failover-recovery:"
+        " health.last_recovery_time_s{component=health} <= 5e-3",
+    ),
+    "link-flap": (
+        "no-failover: health.failovers{component=health} == 0",
+        "no-dead-attachments:"
+        " health.attachments_dead{component=health} == 0",
+    ),
+    "brownout": (
+        "no-failover: health.failovers{component=health} == 0",
+        "no-dead-attachments:"
+        " health.attachments_dead{component=health} == 0",
+    ),
+}
+
+
+def _finish(scenario: str, rack, attachment, registry,
+            result: Dict) -> Dict:
+    """Evaluate the scenario's SLOs and attach telemetry to the result.
+
+    SLO evaluation runs while the event log is still open, so breach
+    events land in the journal with the scenario and attachment as
+    correlation context; the journal is then closed and embedded. Both
+    blocks are pure sim-time artifacts — seeded runs stay
+    byte-identical, which the chaos-smoke CI job diffs.
+    """
+    engine = SloEngine(parse_slo_specs(SCENARIO_SLOS[scenario]))
+    report = engine.evaluate(
+        registry,
+        now=rack.sim.now,
+        context={
+            "scenario": scenario,
+            "attachment": attachment.attachment_id,
+        },
+    )
+    log = _events.disable_events()
+    result["slo"] = report.describe()
+    result["events"] = log.to_dicts() if log is not None else []
+    return result
+
 
 def _build_rack(seed: int):
     """3-node rack with a monitored, journaled attachment 1 -> 0."""
+    # The event journal embeds transaction ids (its correlation link to
+    # trace spans); rewinding the global counter here makes a seeded
+    # scenario's artifact byte-identical no matter what ran earlier in
+    # the same process.
+    reset_txn_ids()
     rack = RackTestbed(nodes=3, channels_per_node=2)
     attachment = rack.attach("node0", 2 * 1024 * KIB,
                              memory_host="node1")
@@ -76,47 +137,54 @@ def run_link_kill_failover(seed: int = 7) -> Dict:
     the surviving lender; the journal replay makes the new lender's
     bytes identical; a final drain proves nothing is left hanging.
     """
-    rack, attachment, buffer, monitor, registry = _build_rack(seed)
-    data = _payload(seed, buffer.size)
-    chunk = 8 * KIB
-    half = buffer.size // 2
+    # The journal opens before the rack is built so the initial
+    # control.steal/control.attach events are captured too; _finish
+    # closes it (the finally is exception-path cleanup only).
+    _events.enable_events()
+    try:
+        rack, attachment, buffer, monitor, registry = _build_rack(seed)
+        data = _payload(seed, buffer.size)
+        chunk = 8 * KIB
+        half = buffer.size // 2
 
-    for offset in range(0, half, chunk):
-        buffer.write(offset, data[offset : offset + chunk])
-
-    _arm(rack, LinkKill(at_s=10e-6), "node1", seed)
-
-    failed_at = None
-    report = None
-    offset = half
-    while offset < buffer.size:
-        try:
+        for offset in range(0, half, chunk):
             buffer.write(offset, data[offset : offset + chunk])
-            offset += chunk
-        except RemoteMemoryError:
-            if report is not None:
-                raise  # a second failure after failover is a real bug
-            failed_at = offset
-            # Rebinds `buffer` in place onto the surviving lender.
-            report = monitor.failover(attachment.attachment_id)
 
-    if report is None:
-        raise ReproError("link kill never surfaced as a failure")
+        _arm(rack, LinkKill(at_s=10e-6), "node1", seed)
 
-    readback = buffer.read(0, buffer.size)
-    verified = readback == data
-    drained_at = rack.run()  # proves no hung processes / stuck timers
+        failed_at = None
+        report = None
+        offset = half
+        while offset < buffer.size:
+            try:
+                buffer.write(offset, data[offset : offset + chunk])
+                offset += chunk
+            except RemoteMemoryError:
+                if report is not None:
+                    raise  # a second failure after failover is a real bug
+                failed_at = offset
+                # Rebinds `buffer` in place onto the surviving lender.
+                report = monitor.failover(attachment.attachment_id)
 
-    return {
-        "scenario": "link-kill-failover",
-        "seed": seed,
-        "verified": verified,
-        "failed_at_offset": failed_at,
-        "report": report.describe(),
-        "health": monitor.describe(),
-        "drained_at_s": drained_at,
-        "metrics": registry.snapshot(),
-    }
+        if report is None:
+            raise ReproError("link kill never surfaced as a failure")
+
+        readback = buffer.read(0, buffer.size)
+        verified = readback == data
+        drained_at = rack.run()  # proves no hung processes / stuck timers
+
+        return _finish("link-kill-failover", rack, attachment, registry, {
+            "scenario": "link-kill-failover",
+            "seed": seed,
+            "verified": verified,
+            "failed_at_offset": failed_at,
+            "report": report.describe(),
+            "health": monitor.describe(),
+            "drained_at_s": drained_at,
+            "metrics": registry.snapshot(),
+        })
+    finally:
+        _events.disable_events()
 
 
 def run_link_flap(seed: int = 7) -> Dict:
@@ -125,63 +193,71 @@ def run_link_flap(seed: int = 7) -> Dict:
     The link dies for 30 µs mid-write; endpoint retries (fresh txn ids)
     plus LLC replay ride it out, and the attachment stays put.
     """
-    rack, attachment, buffer, monitor, registry = _build_rack(seed)
-    data = _payload(seed, buffer.size)
+    _events.enable_events()
+    try:
+        rack, attachment, buffer, monitor, registry = _build_rack(seed)
+        data = _payload(seed, buffer.size)
 
-    buffer.write(0, data[: buffer.size // 2])
-    _arm(rack, LinkFlap(at_s=5e-6, duration_s=30e-6), "node1", seed)
-    buffer.write(buffer.size // 2, data[buffer.size // 2 :])
+        buffer.write(0, data[: buffer.size // 2])
+        _arm(rack, LinkFlap(at_s=5e-6, duration_s=30e-6), "node1", seed)
+        buffer.write(buffer.size // 2, data[buffer.size // 2 :])
 
-    readback = buffer.read(0, buffer.size)
-    endpoint = rack.node("node0").device.compute
-    drained_at = rack.run()
+        readback = buffer.read(0, buffer.size)
+        endpoint = rack.node("node0").device.compute
+        drained_at = rack.run()
 
-    return {
-        "scenario": "link-flap",
-        "seed": seed,
-        "verified": readback == data,
-        "failovers": monitor.failovers,
-        "endpoint_retries": endpoint.retries,
-        "endpoint_timeouts": endpoint.timeouts,
-        "health": monitor.describe(),
-        "drained_at_s": drained_at,
-        "metrics": registry.snapshot(),
-    }
+        return _finish("link-flap", rack, attachment, registry, {
+            "scenario": "link-flap",
+            "seed": seed,
+            "verified": readback == data,
+            "failovers": monitor.failovers,
+            "endpoint_retries": endpoint.retries,
+            "endpoint_timeouts": endpoint.timeouts,
+            "health": monitor.describe(),
+            "drained_at_s": drained_at,
+            "metrics": registry.snapshot(),
+        })
+    finally:
+        _events.disable_events()
 
 
 def run_brownout(seed: int = 7) -> Dict:
     """Degraded-bandwidth window: Bernoulli loss absorbed by replay."""
-    rack, attachment, buffer, monitor, registry = _build_rack(seed)
-    data = _payload(seed, buffer.size)
+    _events.enable_events()
+    try:
+        rack, attachment, buffer, monitor, registry = _build_rack(seed)
+        data = _payload(seed, buffer.size)
 
-    _arm(
-        rack,
-        Brownout(at_s=5e-6, duration_s=500e-6, drop_probability=0.15),
-        "node1",
-        seed,
-    )
-    chunk = 8 * KIB
-    for offset in range(0, buffer.size, chunk):
-        buffer.write(offset, data[offset : offset + chunk])
+        _arm(
+            rack,
+            Brownout(at_s=5e-6, duration_s=500e-6, drop_probability=0.15),
+            "node1",
+            seed,
+        )
+        chunk = 8 * KIB
+        for offset in range(0, buffer.size, chunk):
+            buffer.write(offset, data[offset : offset + chunk])
 
-    readback = buffer.read(0, buffer.size)
-    dropped = sum(
-        link.faults.frames_dropped
-        for link in rack.links_of("node1")
-        if link.faults is not None
-    )
-    drained_at = rack.run()
+        readback = buffer.read(0, buffer.size)
+        dropped = sum(
+            link.faults.frames_dropped
+            for link in rack.links_of("node1")
+            if link.faults is not None
+        )
+        drained_at = rack.run()
 
-    return {
-        "scenario": "brownout",
-        "seed": seed,
-        "verified": readback == data,
-        "failovers": monitor.failovers,
-        "frames_dropped": dropped,
-        "health": monitor.describe(),
-        "drained_at_s": drained_at,
-        "metrics": registry.snapshot(),
-    }
+        return _finish("brownout", rack, attachment, registry, {
+            "scenario": "brownout",
+            "seed": seed,
+            "verified": readback == data,
+            "failovers": monitor.failovers,
+            "frames_dropped": dropped,
+            "health": monitor.describe(),
+            "drained_at_s": drained_at,
+            "metrics": registry.snapshot(),
+        })
+    finally:
+        _events.disable_events()
 
 
 SCENARIOS: Dict[str, Callable[[int], Dict]] = {

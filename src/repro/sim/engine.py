@@ -52,6 +52,7 @@ from operator import itemgetter
 from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
+from ..obs import profiler as _obs_profiler
 from ..obs import trace as _obs_trace
 
 __all__ = [
@@ -508,8 +509,19 @@ class Simulator:
         boring.
         """
         # Observability hooks live at entry/exit only — the dispatch loop
-        # below stays branch-free with respect to tracing.
+        # below stays branch-free with respect to tracing. The sampling
+        # profiler is the one exception, and it reduces to a single
+        # local-int truthiness check per event while disabled and a
+        # countdown decrement while enabled; the expensive work happens
+        # only once per `stride` events inside profiler.sample().
         trace_start = self._now if _obs_trace.ENABLED else None
+        profiler = _obs_profiler._PROFILER if _obs_profiler.ENABLED else None
+        if profiler is not None:
+            prof_stride = profiler.stride
+            prof_left = prof_stride
+            profiler.begin_run(self._now)
+        else:
+            prof_left = 0
         events_before = self.event_count
         times = self._times
         buckets = self._buckets
@@ -550,6 +562,11 @@ class Simulator:
                         continue
                     _key, target, payload = entries[pos]
                     pos += 1
+                    if prof_left:
+                        prof_left -= 1
+                        if not prof_left:
+                            prof_left = prof_stride
+                            profiler.sample(time, target)
                     if target.__class__ is Process:
                         if target.alive:
                             if target._pending_interrupt is None:

@@ -172,6 +172,8 @@ class PacketRackTestbed(TestbedBase):
         self.uplinks: Dict[int, AddressedUplink] = {}
         self._node_links: Dict[str, List[SerialLink]] = {}
         self.plane = ControlPlane()
+        # Control events share the datapath's sim-time timeline.
+        self.plane.clock = lambda: self.sim.now
 
         for index in range(nodes):
             node = Ac922Node(self.sim, f"node{index}", self.spec, llc_config)

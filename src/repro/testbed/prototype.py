@@ -83,6 +83,8 @@ class Testbed(TestbedBase):
 
         # Control plane + agents ----------------------------------------------------
         self.plane = ControlPlane()
+        # Control events share the datapath's sim-time timeline.
+        self.plane.clock = lambda: self.sim.now
         for node in self.servers:
             self.plane.register_host(
                 node.agent,

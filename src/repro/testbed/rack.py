@@ -60,6 +60,8 @@ class RackTestbed(TestbedBase):
         self.nodes: List[Ac922Node] = []
         self._node_links: Dict[str, List[SerialLink]] = {}
         self.plane = ControlPlane()
+        # Control events share the datapath's sim-time timeline.
+        self.plane.clock = lambda: self.sim.now
         driver = SwitchDriver(
             self.SWITCH_NAME,
             self.switch,

@@ -16,6 +16,7 @@ EXAMPLES = [
     "failure_injection.py",
     "rack_scale.py",
     "remote_buffer_tour.py",
+    "telemetry_scrape.py",
 ]
 
 

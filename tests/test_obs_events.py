@@ -1,0 +1,211 @@
+"""Structured event log: the bounded journal, the JSON-lines format
+validator, and the control-plane/resilience emission wiring.
+
+Determinism matters here: events carry sim-time and a sequence number,
+never wall-clock, so seeded runs journal identically — asserted at the
+scenario level by ``tests/test_accel_equivalence.py``.
+"""
+
+import pytest
+
+from repro.control import RestApi
+from repro.mem import MIB
+from repro.obs import (
+    EventLog,
+    active_event_log,
+    disable_events,
+    enable_events,
+    event_logging,
+    validate_event_jsonl,
+)
+from repro.obs import events as events_mod
+from repro.testbed import Testbed
+
+
+class TestEventLogPrimitives:
+    def test_emit_assigns_monotonic_sequence(self):
+        log = EventLog()
+        first = log.emit(0.0, "a.start")
+        second = log.emit(1.5e-6, "a.stop", code=3)
+        assert (first.seq, second.seq) == (0, 1)
+        assert second.fields == {"code": 3}
+        assert log.total == 2 and log.evicted == 0
+
+    def test_capacity_bounds_resident_history(self):
+        log = EventLog(capacity=4)
+        for index in range(10):
+            log.emit(index * 1e-6, "tick", n=index)
+        assert len(log) == 4
+        assert log.total == 10 and log.evicted == 6
+        # Oldest events were dropped; the survivors keep their seq.
+        assert [event.seq for event in log] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_find_filters_by_kind_and_fields(self):
+        log = EventLog()
+        log.emit(0.0, "fault.link_down", link="x0")
+        log.emit(1e-6, "fault.link_down", link="x1")
+        log.emit(2e-6, "fault.link_up", link="x0")
+        assert len(log.find("fault.link_down")) == 2
+        assert len(log.find(link="x0")) == 2
+        matched = log.find("fault.link_down", link="x1")
+        assert len(matched) == 1 and matched[0].t == 1e-6
+
+    def test_as_dict_leads_with_identity_keys(self):
+        event = EventLog().emit(2.5e-6, "control.attach", attachment=7)
+        record = event.as_dict()
+        assert list(record)[:3] == ["seq", "t", "kind"]
+        assert record["attachment"] == 7
+
+    def test_jsonl_round_trips_through_validator(self):
+        log = EventLog()
+        log.emit(0.0, "a", x=1)
+        log.emit(1e-6, "b", y="z")
+        text = log.to_jsonl()
+        assert text.endswith("\n")
+        assert validate_event_jsonl(text) == 2
+
+    def test_empty_log_serializes_to_empty_valid_journal(self):
+        log = EventLog()
+        assert log.to_jsonl() == ""
+        assert validate_event_jsonl(log.to_jsonl()) == 0
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit(0.0, "a")
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(str(path))
+        assert validate_event_jsonl(path.read_text()) == 1
+
+
+class TestJournalValidator:
+    def test_rejects_non_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_event_jsonl("not json\n")
+
+    def test_rejects_non_object_line(self):
+        with pytest.raises(ValueError, match="not an object"):
+            validate_event_jsonl("[1, 2]\n")
+
+    @pytest.mark.parametrize("missing", ["seq", "t", "kind"])
+    def test_rejects_missing_identity_key(self, missing):
+        record = {"seq": 0, "t": 0.0, "kind": "a"}
+        del record[missing]
+        import json
+
+        with pytest.raises(ValueError, match=missing):
+            validate_event_jsonl(json.dumps(record) + "\n")
+
+    def test_rejects_sequence_regression(self):
+        text = (
+            '{"seq": 1, "t": 0.0, "kind": "a"}\n'
+            '{"seq": 1, "t": 0.0, "kind": "b"}\n'
+        )
+        with pytest.raises(ValueError, match="does not increase"):
+            validate_event_jsonl(text)
+
+    def test_rejects_boolean_seq(self):
+        with pytest.raises(ValueError, match="not an integer"):
+            validate_event_jsonl('{"seq": true, "t": 0.0, "kind": "a"}\n')
+
+    def test_rejects_negative_sim_time(self):
+        with pytest.raises(ValueError, match="bad sim-time"):
+            validate_event_jsonl('{"seq": 0, "t": -1.0, "kind": "a"}\n')
+
+    def test_rejects_time_travel(self):
+        text = (
+            '{"seq": 0, "t": 2.0, "kind": "a"}\n'
+            '{"seq": 1, "t": 1.0, "kind": "b"}\n'
+        )
+        with pytest.raises(ValueError, match="backwards"):
+            validate_event_jsonl(text)
+
+    def test_rejects_empty_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            validate_event_jsonl('{"seq": 0, "t": 0.0, "kind": ""}\n')
+
+    def test_blank_lines_are_skipped(self):
+        text = '\n{"seq": 0, "t": 0.0, "kind": "a"}\n\n'
+        assert validate_event_jsonl(text) == 1
+
+
+class TestModuleSwitch:
+    def test_disabled_by_default_and_emit_is_noop(self):
+        assert active_event_log() is None
+        events_mod.emit(0.0, "ignored")  # must not raise
+
+    def test_enable_returns_fresh_log_and_disable_hands_it_back(self):
+        log = enable_events(capacity=8)
+        try:
+            assert active_event_log() is log
+            events_mod.emit(0.0, "probe")
+            assert log.total == 1
+        finally:
+            returned = disable_events()
+        assert returned is log
+        assert active_event_log() is None
+
+    def test_context_manager_scopes_logging(self):
+        with event_logging() as log:
+            events_mod.emit(0.0, "inside")
+        assert active_event_log() is None
+        assert len(log.find("inside")) == 1
+
+
+class TestControlPlaneWiring:
+    def test_attach_detach_journal(self):
+        """Control-plane verbs land in the journal with correlation ids
+        and sim-clock timestamps."""
+        with event_logging() as log:
+            testbed = Testbed()
+            attachment = testbed.attach(
+                "node0", 4 * MIB, memory_host="node1"
+            )
+            window = testbed.remote_window_range(attachment)
+            testbed.node0.run_store(window.start, bytes(128))
+            testbed.detach(attachment)
+
+        aid = attachment.attachment_id
+        steals = log.find("control.steal", attachment=aid)
+        attaches = log.find("control.attach", attachment=aid)
+        detaches = log.find("control.detach", attachment=aid)
+        assert len(steals) == len(attaches) == len(detaches) == 1
+        assert attaches[0].fields["compute_host"] == "node0"
+        assert attaches[0].fields["memory_host"] == "node1"
+        assert steals[0].fields["bytes"] == 4 * MIB
+        # Detach happened after datapath traffic, so the shared sim
+        # clock has advanced past the attach timestamp.
+        assert detaches[0].t > attaches[0].t >= 0.0
+        assert validate_event_jsonl(log.to_jsonl()) == log.total
+
+    def test_events_route_serves_live_journal(self):
+        with event_logging():
+            testbed = Testbed()
+            testbed.attach("node0", 2 * MIB, memory_host="node1")
+            api = RestApi(testbed.plane)
+            status, body = api.handle(
+                "GET", "/v1/events", token=testbed.admin_token
+            )
+        assert status == 200
+        kinds = {event["kind"] for event in body["events"]}
+        assert {"control.steal", "control.attach"} <= kinds
+        assert body["total"] == len(body["events"])
+        assert body["evicted"] == 0
+
+    def test_events_route_without_logging_is_503(self):
+        testbed = Testbed()
+        api = RestApi(testbed.plane)
+        status, body = api.handle(
+            "GET", "/v1/events", token=testbed.admin_token
+        )
+        assert status == 503
+        assert body["code"] == "obs/no-event-log"
+
+    def test_disabled_logging_costs_nothing_on_the_control_path(self):
+        testbed = Testbed()
+        attachment = testbed.attach("node0", 2 * MIB, memory_host="node1")
+        testbed.detach(attachment)
+        assert active_event_log() is None

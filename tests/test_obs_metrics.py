@@ -92,6 +92,79 @@ class TestRegistryPrimitives:
         assert loaded["bus.loads{node=node0}"] == 5
 
 
+class TestHistogramQuantiles:
+    def _hist(self, *values, low=0.0, high=1.0, bins=4):
+        hist = MetricsRegistry().histogram(
+            "q", low=low, high=high, bins=bins
+        )
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_quantile_rejects_out_of_range_q(self):
+        hist = self._hist(0.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(100.1)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = self._hist()
+        for q in (0.0, 50.0, 99.9, 100.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_single_sample_pins_every_quantile_to_its_bucket(self):
+        """Boundary safety: one sample in [0.25, 0.5) keeps p50, p99 and
+        p99.9 inside that bucket instead of extrapolating."""
+        hist = self._hist(0.3)
+        for q in (50.0, 99.0, 99.9):
+            assert 0.25 <= hist.quantile(q) < 0.5
+        assert hist.quantile(50.0) == pytest.approx(0.375)
+        assert hist.quantile(99.9) == pytest.approx(0.49975)
+
+    def test_interpolation_within_a_bucket(self):
+        # 4 samples all in [0.0, 0.25): rank q walks linearly across it.
+        hist = self._hist(0.1, 0.1, 0.1, 0.1)
+        assert hist.quantile(50.0) == pytest.approx(0.125)
+        assert hist.quantile(100.0) == pytest.approx(0.25)
+
+    def test_p999_lands_in_the_tail_bucket(self):
+        # 999 fast samples, 1 slow one: p99.9 reaches the slow bucket.
+        hist = MetricsRegistry().histogram(
+            "lat", low=0.0, high=1.0, bins=10
+        )
+        for _ in range(999):
+            hist.observe(0.05)
+        hist.observe(0.95)
+        assert hist.quantile(50.0) < 0.1
+        assert 0.9 <= hist.quantile(99.9) <= 1.0
+        assert hist.quantile(99.9) > hist.quantile(99.0)
+
+    def test_underflow_rank_returns_low_bound(self):
+        hist = self._hist(-5.0, -5.0, 0.6, low=0.0, high=1.0)
+        assert hist.quantile(50.0) == 0.0
+
+    def test_overflow_rank_returns_high_bound(self):
+        hist = self._hist(0.1, 9.0, 9.0)
+        assert hist.quantile(99.9) == 1.0
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = self._hist(0.05, 0.2, 0.4, 0.6, 0.8, 0.95, bins=8)
+        quantiles = [
+            hist.quantile(q) for q in (1.0, 25.0, 50.0, 75.0, 99.0, 99.9)
+        ]
+        assert quantiles == sorted(quantiles)
+
+    def test_snapshot_exports_percentile_keys(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("rtt", low=0.0, high=1.0, bins=4)
+        hist.observe(0.3)
+        snap = registry.snapshot()
+        assert snap["rtt.p50"] == pytest.approx(0.375)
+        assert snap["rtt.p99"] == pytest.approx(0.4975)
+        assert snap["rtt.p999"] == pytest.approx(0.49975)
+
+
 class TestSummaryRendering:
     def test_snapshot_summary_groups_by_prefix(self):
         snapshot = {

@@ -1,0 +1,287 @@
+"""Prometheus text exposition: rendering, the strict parser, and the
+REST scrape endpoint.
+
+The acceptance-criteria test is the scrape round-trip: a live testbed's
+``GET /v1/metrics`` body must survive :func:`parse_prometheus` — the
+strict parser that enforces every invariant a real scraper relies on —
+and agree with ``registry.snapshot()`` value for value.
+"""
+
+import math
+
+import pytest
+
+from repro.control import RestApi
+from repro.mem import MIB
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    PromParseError,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.promtext import metric_name
+from repro.testbed import Testbed
+
+
+class TestNameSanitization:
+    def test_dotted_name_maps_to_underscores(self):
+        assert metric_name("endpoint.rtt_s") == "endpoint_rtt_s"
+        assert metric_name("net.faults.frames_dropped") == (
+            "net_faults_frames_dropped"
+        )
+
+    def test_illegal_characters_become_underscores(self):
+        assert metric_name("link utilization%") == "link_utilization_"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert metric_name("9to5.load") == "_9to5_load"
+
+    def test_colons_survive(self):
+        assert metric_name("ns:metric") == "ns:metric"
+
+
+class TestRenderParseRoundTrip:
+    def test_counter_and_gauge_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("bus.loads", node="node0").inc(16)
+        registry.gauge("link.utilization", link="ch0").set(0.75)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["types"]["bus_loads"] == "counter"
+        assert parsed["types"]["link_utilization"] == "gauge"
+        assert parsed["samples"][("bus_loads", (("node", "node0"),))] == 16
+        assert parsed["samples"][
+            ("link_utilization", (("link", "ch0"),))
+        ] == 0.75
+
+    def test_help_preserves_dotted_name(self):
+        registry = MetricsRegistry()
+        registry.counter("dram.reads").inc()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert "dram.reads" in parsed["helps"]["dram_reads"]
+
+    def test_label_values_escape_and_unescape(self):
+        registry = MetricsRegistry()
+        awkward = 'a"b\\c\nd'
+        registry.counter("odd.series", tag=awkward).inc(2)
+        text = render_prometheus(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        assert parsed["samples"][("odd_series", (("tag", awkward),))] == 2
+
+    def test_histogram_renders_full_family(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rtt", low=0.0, high=1.0, bins=4, node="node0"
+        )
+        for value in (0.1, 0.3, 0.3, 0.9, 2.5):  # one overflow
+            hist.observe(value)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["types"]["rtt"] == "histogram"
+        label = ("node", "node0")
+
+        def bucket(le):
+            return parsed["samples"][("rtt_bucket", tuple(sorted(
+                (label, ("le", le)))))]
+
+        assert bucket("0.25") == 1
+        assert bucket("0.5") == 3
+        assert bucket("1") == 4
+        assert bucket("+Inf") == 5
+        assert parsed["samples"][("rtt_count", (label,))] == 5
+        assert parsed["samples"][("rtt_sum", (label,))] == pytest.approx(4.1)
+
+    def test_underflow_folds_into_first_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", low=1.0, high=2.0, bins=2)
+        hist.observe(0.5)  # below low
+        hist.observe(1.2)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["samples"][("lat_bucket", (("le", "1.5"),))] == 2
+
+    def test_collectors_run_before_rendering(self):
+        registry = MetricsRegistry()
+        source = {"served": 0}
+        registry.add_collector(
+            lambda reg: reg.gauge("endpoint.served").set(source["served"])
+        )
+        source["served"] = 9
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["samples"][("endpoint_served", ())] == 9
+
+    def test_infinite_gauge_round_trips(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird.value").set(math.inf)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["samples"][("weird_value", ())] == math.inf
+
+    def test_dotted_collision_with_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.gauge("a_b").set(1)
+        with pytest.raises(ValueError):
+            render_prometheus(registry)
+
+    def test_live_testbed_exposition_matches_snapshot(self):
+        """Every rendered sample equals its snapshot counterpart."""
+        testbed = Testbed()
+        attachment = testbed.attach("node0", 4 * MIB, memory_host="node1")
+        window = testbed.remote_window_range(attachment)
+        testbed.node0.run_store(window.start, bytes(128))
+        testbed.node0.run_load(window.start)
+        registry = MetricsRegistry()
+        testbed.register_observability(registry)
+        snapshot = registry.snapshot()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert len(parsed["samples"]) >= len(parsed["types"])
+        value = parsed["samples"][
+            ("bus_loads", (("bus", "node0.bus"), ("node", "node0")))
+        ]
+        assert value == snapshot["bus.loads{bus=node0.bus,node=node0}"]
+
+
+class TestStrictParserRejections:
+    def test_sample_without_type_declaration(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_type_after_samples(self):
+        text = (
+            "# TYPE a counter\na 1\n# TYPE a counter\n"
+        )
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_duplicate_type(self):
+        text = "# TYPE a counter\n# TYPE a gauge\n"
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_unknown_type_keyword(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("# TYPE a exotic\n")
+
+    def test_illegal_metric_name(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("# TYPE a counter\n9bad 1\n")
+
+    def test_bad_label_syntax(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus('# TYPE a counter\na{node=node0} 1\n')
+
+    def test_duplicate_label_name(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus('# TYPE a counter\na{x="1",x="2"} 1\n')
+
+    def test_illegal_escape_in_label(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus('# TYPE a counter\na{x="\\q"} 1\n')
+
+    def test_duplicate_series(self):
+        text = '# TYPE a counter\na{n="0"} 1\na{n="0"} 2\n'
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_unparseable_value(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("# TYPE a counter\na banana\n")
+
+    def test_timestamped_sample_is_accepted(self):
+        parsed = parse_prometheus("# TYPE a counter\na 1 1234567\n")
+        assert parsed["samples"][("a", ())] == 1
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\nh_sum 1.0\nh_count 2\n'
+        )
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_histogram_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 2\n'
+            "h_sum 1.0\nh_count 2\n"
+        )
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_histogram_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\nh_sum 1.0\nh_count 3\n'
+        )
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_histogram_missing_sum(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 2\nh_count 2\n'
+        with pytest.raises(PromParseError):
+            parse_prometheus(text)
+
+    def test_free_form_comments_are_ignored(self):
+        parsed = parse_prometheus("# scraped at dawn\n# TYPE a counter\na 1\n")
+        assert parsed["samples"][("a", ())] == 1
+
+
+@pytest.fixture()
+def testbed():
+    return Testbed()
+
+
+class TestRestScrapeEndpoint:
+    def test_metrics_route_round_trips_through_strict_parser(self, testbed):
+        """Acceptance: /v1/metrics body parses strictly and carries the
+        datapath counters the run produced."""
+        attachment = testbed.attach("node0", 2 * MIB, memory_host="node1")
+        window = testbed.remote_window_range(attachment)
+        testbed.node0.run_store(window.start, bytes(128))
+        registry = MetricsRegistry()
+        testbed.register_observability(registry)
+
+        api = RestApi(testbed.plane, registry=registry)
+        status, body = api.handle(
+            "GET", "/v1/metrics", token=testbed.admin_token
+        )
+        assert status == 200
+        assert body["content_type"] == CONTENT_TYPE
+        parsed = parse_prometheus(body["body"])
+        stores = parsed["samples"][
+            ("bus_stores", (("bus", "node0.bus"), ("node", "node0")))
+        ]
+        assert stores >= 1
+
+    def test_scrape_reflects_traffic_between_scrapes(self, testbed):
+        attachment = testbed.attach("node0", 2 * MIB, memory_host="node1")
+        window = testbed.remote_window_range(attachment)
+        registry = MetricsRegistry()
+        testbed.register_observability(registry)
+        api = RestApi(testbed.plane, registry=registry)
+
+        def scrape_loads():
+            _status, body = api.handle(
+                "GET", "/v1/metrics", token=testbed.admin_token
+            )
+            samples = parse_prometheus(body["body"])["samples"]
+            return samples[
+                ("bus_loads", (("bus", "node0.bus"), ("node", "node0")))
+            ]
+
+        before = scrape_loads()
+        for _ in range(3):
+            testbed.node0.run_load(window.start)
+        assert scrape_loads() == before + 3
+
+    def test_metrics_route_without_registry_is_503(self, testbed):
+        api = RestApi(testbed.plane)
+        status, body = api.handle(
+            "GET", "/v1/metrics", token=testbed.admin_token
+        )
+        assert status == 503
+        assert body["code"] == "obs/no-registry"
+
+    def test_metrics_route_requires_token(self, testbed):
+        api = RestApi(testbed.plane, registry=MetricsRegistry())
+        status, _body = api.handle("GET", "/v1/metrics")
+        assert status == 401
