@@ -1,0 +1,123 @@
+"""Perf + reproducibility harness for the DSE smoke design.
+
+Runs the CI smoke design (2x2x2 factorial over frame size, ambient
+loss, and failover policy, with 2 seed replicates = 16 cells) twice
+through the real ``python -m repro dse`` entry point against a shared
+content-addressed cache:
+
+* **cold** — every cell simulated, cache populated;
+* **warm** — every cell served from cache; the decision-support
+  artifacts (JSON + markdown) must be byte-identical to the cold run.
+
+Results land in ``BENCH_dse.json`` at the repository root so timing
+regressions (and the warm-replay speedup) show up in review diffs.
+The harness also asserts the smoke design's availability canary: the
+``failover_policy=none`` configurations must breach the availability
+floor, otherwise the decision support has nothing to decide.
+
+Set ``DSE_PERF_SMOKE=1`` (CI) to relax the warm-speedup threshold for
+noisy shared runners; the byte-identity and canary assertions are
+unconditional.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from contextlib import redirect_stdout
+
+from repro.__main__ import main
+
+SMOKE = os.environ.get("DSE_PERF_SMOKE", "") not in ("", "0")
+
+#: Results land at the repository root, next to BENCH_sweeps.json.
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_dse.json",
+)
+
+WARM_TARGET = 2.0 if SMOKE else 5.0
+
+
+def _run(out_dir, cache_dir):
+    argv = [
+        "dse", "--smoke", "--seed", "7",
+        "--out", out_dir, "--cache-dir", cache_dir,
+    ]
+    stdout = io.StringIO()
+    started = time.perf_counter()
+    with redirect_stdout(stdout):
+        code = main(argv)
+    elapsed = time.perf_counter() - started
+    assert code == 0
+    return stdout.getvalue(), elapsed
+
+
+def _artifacts(out_dir):
+    with open(os.path.join(out_dir, "dse-report.json"), "rb") as fh:
+        report_json = fh.read()
+    with open(os.path.join(out_dir, "dse-report.md"), "rb") as fh:
+        report_md = fh.read()
+    return report_json, report_md
+
+
+def test_dse_smoke_cold_warm_and_canary(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold_out = str(tmp_path / "cold")
+    warm_out = str(tmp_path / "warm")
+
+    cold_text, cold_s = _run(cold_out, cache_dir)
+    assert "cache 0 hits" in cold_text or "16 executed" in cold_text
+
+    warm_text, warm_s = _run(warm_out, cache_dir)
+    assert "0 executed" in warm_text
+    assert "cache 16 hits" in warm_text
+
+    # Reproducibility first: warm replay renders the same decision.
+    cold_json, cold_md = _artifacts(cold_out)
+    warm_json, warm_md = _artifacts(warm_out)
+    assert warm_json == cold_json
+    assert warm_md == cold_md
+
+    # The smoke design must carry at least one breaching configuration
+    # (the failover_policy=none canary) and at least one passing one,
+    # or the ranking exercises nothing.
+    report = json.loads(cold_json)
+    breaching = report["ranking"]["breaching"]
+    passing = report["ranking"]["passing"]
+    assert breaching, "smoke design lost its SLO-breach canary"
+    assert passing, "smoke design has no feasible configuration"
+    assert all(
+        json.loads(key)["failover_policy"] == "none" for key in breaching
+    )
+    assert report["recommendation"]["failover_policy"] == "fast"
+    dominant = report["sensitivity"]["availability"]["factors"][0]
+    assert dominant["factor"] == "failover_policy"
+
+    warm_speedup = cold_s / warm_s
+    cells = sum(row["cells"] for row in report["configs"])
+    print(
+        f"dse smoke ({cells} cells): cold {cold_s:.2f}s, "
+        f"warm {warm_s:.3f}s ({warm_speedup:.1f}x)"
+    )
+
+    bench = {
+        "design": "smoke (2x2x2 factorial, 2 replicates)",
+        "cells": cells,
+        "configs": len(report["configs"]),
+        "breaching_configs": len(breaching),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(warm_speedup, 3),
+        "warm_target": WARM_TARGET,
+        "smoke": SMOKE,
+    }
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert warm_speedup >= WARM_TARGET, (
+        f"warm DSE replay {warm_speedup:.2f}x < {WARM_TARGET}x target"
+    )

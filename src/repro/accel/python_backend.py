@@ -67,6 +67,54 @@ def sort_values(values: Sequence[float]) -> List[float]:
     return sorted(values)
 
 
+def solve_linear_system(
+    matrix: Sequence[Sequence[float]], rhs: Sequence[float]
+) -> List[float]:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination.
+
+    Partial pivoting (first row of maximal magnitude), in-place
+    elimination over an augmented copy, sequential back-substitution.
+    The DSE effects models feed this their (ridge-regularized) normal
+    equations; systems are small and dense. Raises
+    ``ZeroDivisionError`` on a singular pivot column.
+
+    Every float op and its association order here is the spec:
+    accelerated backends must reproduce the values bit-for-bit,
+    including which rows are skipped (zero factors are *not* updated,
+    preserving signed zeros).
+    """
+    n = len(rhs)
+    a = [list(map(float, matrix[i])) + [float(rhs[i])] for i in range(n)]
+    for k in range(n):
+        pivot = k
+        best = abs(a[k][k])
+        for r in range(k + 1, n):
+            magnitude = abs(a[r][k])
+            if magnitude > best:
+                best = magnitude
+                pivot = r
+        if best == 0.0:
+            raise ZeroDivisionError(f"singular system at column {k}")
+        if pivot != k:
+            a[k], a[pivot] = a[pivot], a[k]
+        base = a[k]
+        for r in range(k + 1, n):
+            row = a[r]
+            factor = row[k] / base[k]
+            if factor == 0.0:
+                continue
+            for j in range(k, n + 1):
+                row[j] -= factor * base[j]
+    x = [0.0] * n
+    for k in range(n - 1, -1, -1):
+        row = a[k]
+        acc = row[n]
+        for j in range(k + 1, n):
+            acc -= row[j] * x[j]
+        x[k] = acc / row[k]
+    return x
+
+
 def bank_service_windows(
     starts_s: Sequence[float],
     line_counts: Sequence[int],

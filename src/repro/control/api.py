@@ -48,6 +48,7 @@ class RestApi:
                                    ["memory_host"], ["bonded"]}
         GET    /v1/attachments/<id>
         DELETE /v1/attachments/<id>   [?force]
+        GET    /v1/faults         (campaign catalogue with param schemas)
         POST   /v1/faults         {"campaign", "attachment", ...params}
 
     ``monitor`` (a :class:`~repro.control.health.HealthMonitor`) backs
@@ -106,8 +107,12 @@ class RestApi:
         if path == "/v1/events" and method == "GET":
             return self._events(token)
 
-        if path == "/v1/faults" and method == "POST":
-            return self._inject_fault(body, token)
+        if path == "/v1/faults":
+            if method == "GET":
+                return self._fault_catalogue(token)
+            if method == "POST":
+                return self._inject_fault(body, token)
+            return self._method_not_allowed(method, path)
 
         if path == "/v1/attachments":
             if method == "GET":
@@ -203,6 +208,15 @@ class RestApi:
             "evicted": log.evicted,
             "events": log.to_dicts(),
         }
+
+    def _fault_catalogue(self, token: Optional[str]) -> Tuple[int, Dict]:
+        """Discoverable campaign catalogue with parameter schemas."""
+        self.plane.acl.require(token, Permission.READ_STATE)
+        # Local import: the resilience layer sits above the control
+        # plane; importing it at module scope would invert the layering.
+        from ..resilience.campaigns import campaign_catalogue
+
+        return 200, {"campaigns": campaign_catalogue()}
 
     def _inject_fault(
         self, body: Dict, token: Optional[str]

@@ -89,7 +89,10 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "memory/unreachable": 502,
     "memory/quarantined": 409,
     "resilience/unknown-campaign": 400,
+    "resilience/bad-campaign-params": 400,
     "resilience/no-injector": 503,
+    "dse/bad-design": 400,
+    "dse/empty-feasible-set": 400,
 }
 
 

@@ -75,6 +75,16 @@ class FaultInjector:
         """Kill (or revive) the link; scheduled by fault campaigns."""
         self.down = down
 
+    def reseed(self, rng: SeededRNG) -> None:
+        """Swap in a fresh Bernoulli stream (per-campaign hygiene).
+
+        The REST fault hook derives one stream per POST from
+        ``(seed, attachment, call index)`` and reseeds the (possibly
+        pre-existing) injector with it, so repeated campaigns against
+        the same links never replay each other's draws.
+        """
+        self.rng = rng
+
     def set_drop_probability(self, probability: float) -> None:
         """Adjust the Bernoulli drop rate (brownout campaigns)."""
         if not 0.0 <= probability <= 1.0:

@@ -12,16 +12,21 @@ seed-deterministic recovery runs (also exposed as
 """
 
 from .campaigns import (
+    CAMPAIGN_PARAMS,
     CAMPAIGNS,
     Brownout,
+    CampaignParam,
+    CampaignParamError,
     FaultCampaign,
     LenderCrash,
     LinkFlap,
     LinkKill,
     UnknownCampaignError,
+    campaign_catalogue,
     ensure_injector,
     make_campaign,
     make_rest_fault_hook,
+    validate_campaign_params,
 )
 from .journal import ResilientBuffer, WriteJournal
 from .scenarios import SCENARIOS, run_scenario
@@ -33,7 +38,12 @@ __all__ = [
     "Brownout",
     "LenderCrash",
     "UnknownCampaignError",
+    "CampaignParamError",
+    "CampaignParam",
     "CAMPAIGNS",
+    "CAMPAIGN_PARAMS",
+    "campaign_catalogue",
+    "validate_campaign_params",
     "make_campaign",
     "ensure_injector",
     "make_rest_fault_hook",

@@ -12,8 +12,9 @@ cacheable by :mod:`repro.sweep`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Type
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from ..errors import ReproError
 from ..net.faults import FaultInjector
@@ -27,7 +28,12 @@ __all__ = [
     "Brownout",
     "LenderCrash",
     "UnknownCampaignError",
+    "CampaignParamError",
+    "CampaignParam",
     "CAMPAIGNS",
+    "CAMPAIGN_PARAMS",
+    "campaign_catalogue",
+    "validate_campaign_params",
     "make_campaign",
     "ensure_injector",
     "make_rest_fault_hook",
@@ -38,6 +44,126 @@ class UnknownCampaignError(ReproError, ValueError):
     """Campaign name not in the catalogue."""
 
     code = "resilience/unknown-campaign"
+
+
+class CampaignParamError(UnknownCampaignError):
+    """Campaign parameter unknown, mistyped, or out of range.
+
+    Subclasses :class:`UnknownCampaignError` so callers that treated
+    every catalogue mismatch as one error class keep working; the
+    distinct ``code`` still routes to 400 with a sharper slug.
+    """
+
+    code = "resilience/bad-campaign-params"
+
+
+@dataclass(frozen=True)
+class CampaignParam:
+    """Typed schema of one campaign parameter.
+
+    This is the single source of truth for what a campaign accepts:
+    the DSE design builder validates factor levels against it, the
+    REST fault hook validates POST bodies with it, and
+    ``GET /v1/faults`` serves it as the discoverable catalogue.
+    """
+
+    name: str
+    kind: str  # "float" (all campaign knobs today are seconds/probabilities)
+    default: float
+    minimum: float
+    maximum: float
+    doc: str
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CampaignParamError(
+                f"parameter {self.name!r} must be a number, "
+                f"got {value!r}"
+            )
+        value = float(value)
+        if not self.minimum <= value <= self.maximum:
+            raise CampaignParamError(
+                f"parameter {self.name!r}={value!r} outside "
+                f"[{self.minimum!r}, {self.maximum!r}]"
+            )
+        return value
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "default": self.default,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "doc": self.doc,
+        }
+
+
+_AT_S = CampaignParam(
+    "at_s", "float", 0.0, 0.0, 10.0,
+    "sim delay (seconds) from arming to the fault taking effect",
+)
+_DURATION_S = CampaignParam(
+    "duration_s", "float", 10e-6, 0.0, 10.0,
+    "how long the degraded window lasts before restoration",
+)
+_BROWNOUT_DURATION_S = CampaignParam(
+    "duration_s", "float", 50e-6, 0.0, 10.0,
+    "how long the degraded window lasts before restoration",
+)
+_DROP_PROBABILITY = CampaignParam(
+    "drop_probability", "float", 0.2, 0.0, 1.0,
+    "per-frame Bernoulli drop probability during the window",
+)
+
+#: name -> ordered parameter schemas; consumed by the DSE design
+#: builder, the REST fault hook, and ``GET /v1/faults``.
+CAMPAIGN_PARAMS: Dict[str, Tuple[CampaignParam, ...]] = {
+    "link-kill": (_AT_S,),
+    "link-flap": (_AT_S, _DURATION_S),
+    "brownout": (_AT_S, _BROWNOUT_DURATION_S, _DROP_PROBABILITY),
+    "lender-crash": (_AT_S,),
+}
+
+
+def validate_campaign_params(name: str, params: Dict[str, Any]) -> Dict[str, float]:
+    """Check ``params`` against the campaign's schema table.
+
+    Returns the validated (float-coerced) parameters. Raises
+    :class:`UnknownCampaignError` for an unknown campaign and
+    :class:`CampaignParamError` for unknown names, wrong types, or
+    out-of-range values.
+    """
+    if name not in CAMPAIGN_PARAMS:
+        raise UnknownCampaignError(
+            f"unknown campaign {name!r} "
+            f"(have: {', '.join(sorted(CAMPAIGN_PARAMS))})"
+        )
+    schema = {spec.name: spec for spec in CAMPAIGN_PARAMS[name]}
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise CampaignParamError(
+            f"campaign {name!r} does not take {', '.join(unknown)} "
+            f"(takes: {', '.join(spec.name for spec in CAMPAIGN_PARAMS[name])})"
+        )
+    return {
+        key: schema[key].validate(value) for key, value in params.items()
+    }
+
+
+def campaign_catalogue() -> List[Dict[str, Any]]:
+    """JSON-able campaign catalogue with parameter schemas."""
+    entries = []
+    for name in sorted(CAMPAIGNS):
+        cls = CAMPAIGNS[name]
+        entries.append({
+            "name": name,
+            "doc": (cls.__doc__ or "").strip().splitlines()[0],
+            "params": [
+                spec.describe() for spec in CAMPAIGN_PARAMS[name]
+            ],
+        })
+    return entries
 
 
 def ensure_injector(
@@ -165,20 +291,14 @@ CAMPAIGNS: Dict[str, Type[FaultCampaign]] = {
 
 
 def make_campaign(name: str, **params) -> FaultCampaign:
-    """Build a campaign from its catalogue name and parameters."""
-    try:
-        cls = CAMPAIGNS[name]
-    except KeyError:
-        raise UnknownCampaignError(
-            f"unknown campaign {name!r} "
-            f"(have: {', '.join(sorted(CAMPAIGNS))})"
-        ) from None
-    try:
-        return cls(**params)
-    except TypeError as exc:
-        raise UnknownCampaignError(
-            f"bad parameters for campaign {name!r}: {exc}"
-        ) from None
+    """Build a campaign from its catalogue name and parameters.
+
+    Parameters are validated against :data:`CAMPAIGN_PARAMS` first, so
+    a typo'd name or out-of-range value fails with a typed error
+    before any dataclass construction.
+    """
+    validated = validate_campaign_params(name, params)
+    return CAMPAIGNS[name](**validated)
 
 
 def make_rest_fault_hook(testbed, seed: int = 0):
@@ -187,18 +307,30 @@ def make_rest_fault_hook(testbed, seed: int = 0):
     Resolves the target attachment, arms the named campaign against the
     *lender's* fault domain (its serial links), and returns the
     campaign description for the HTTP response.
+
+    RNG-stream hygiene: each POST derives a fresh per-campaign stream
+    from ``(seed, attachment_id, call index)`` — the injectors on the
+    target links are reseeded with it, so two identical POSTs never
+    silently replay the same Bernoulli draws, while the whole sequence
+    of calls stays deterministic for a given hook seed. The derived
+    stream label is echoed in the response as ``rng_stream``.
     """
-    rng = SeededRNG(seed).derive("rest-faults")
+    root = SeededRNG(seed).derive("rest-faults")
+    calls = itertools.count()
 
     def hook(name: str, attachment_id: int, params: Dict) -> Dict:
         attachment = testbed.plane.attachment(
             attachment_id, token=testbed.admin_token
         )
         campaign = make_campaign(name, **params)
+        index = next(calls)
+        stream = root.derive(f"{attachment_id}/{index}")
         links = testbed.links_of(attachment.memory_host)
-        injectors = [
-            ensure_injector(link, rng.derive(link.name)) for link in links
-        ]
+        injectors = []
+        for link in links:
+            injector = ensure_injector(link)
+            injector.reseed(stream.derive(link.name))
+            injectors.append(injector)
         agent = testbed.node(attachment.memory_host).agent
         campaign.arm(testbed.sim, injectors, agent=agent)
         return {
@@ -206,6 +338,8 @@ def make_rest_fault_hook(testbed, seed: int = 0):
             "attachment": attachment_id,
             "target_host": attachment.memory_host,
             "links": [link.name for link in links],
+            "rng_stream": stream.label,
+            "call_index": index,
         }
 
     return hook

@@ -1,0 +1,332 @@
+"""Design builders: factorial grids and seeded evolutionary search.
+
+A *design* is an ordered list of design points (factor → level maps);
+``cells_for`` expands points into replicated cells, each of which maps
+1:1 onto a content-addressed :class:`~repro.sweep.RunSpec`. Because
+the sweep cache keys on (target, kwargs, seed, source fingerprint),
+a killed design resumes for free: re-running the same design replays
+every already-computed cell from cache and only executes the rest.
+
+The evolutionary search (DAVOS-style) explores factor spaces too
+large to enumerate: tournament selection plus per-factor mutation
+over the level grid, with fitness supplied by a caller-provided batch
+evaluator (which routes through the sweep engine, so revisited points
+cost nothing). All randomness derives from one named
+:class:`~repro.sim.rng.SeededRNG` stream, so a seeded search replays
+identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...sim.rng import SeededRNG
+from .factors import DseDesignError, EmptyFeasibleSetError
+
+__all__ = [
+    "Cell",
+    "full_factorial",
+    "fractional_factorial",
+    "cells_for",
+    "EvolutionarySearch",
+    "EvolutionResult",
+]
+
+Point = Dict[str, Any]
+
+
+def point_key(point: Point) -> str:
+    """Canonical identity of a design point (sorted-key JSON)."""
+    return json.dumps(point, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One runnable unit: a design point plus a replicate seed."""
+
+    point: Point
+    seed: int
+    replicate: int
+
+
+def full_factorial(levels: Dict[str, List[Any]]) -> List[Point]:
+    """Cartesian product of every factor's levels, in axis order."""
+    if not levels:
+        raise DseDesignError("empty factor space")
+    names = list(levels)
+    points = []
+    for combo in itertools.product(*(levels[name] for name in names)):
+        points.append(dict(zip(names, combo)))
+    return points
+
+
+def fractional_factorial(
+    levels: Dict[str, List[Any]], fraction: int, phase: int = 0
+) -> List[Point]:
+    """A deterministic 1/``fraction`` lattice slice of the full grid.
+
+    Keeps the cells whose level-index sum is congruent to ``phase``
+    modulo ``fraction`` — the classic generalized half/quarter
+    fraction (for two-level factors and ``fraction=2`` this is the
+    resolution-preserving even/odd lattice). ``fraction=1`` is the
+    full factorial.
+    """
+    if fraction < 1:
+        raise DseDesignError(f"fraction must be >= 1, got {fraction}")
+    if not 0 <= phase < fraction:
+        raise DseDesignError(
+            f"phase must be in [0, {fraction}), got {phase}"
+        )
+    names = list(levels)
+    points = []
+    for combo in itertools.product(
+        *(range(len(levels[name])) for name in names)
+    ):
+        if sum(combo) % fraction != phase:
+            continue
+        points.append({
+            name: levels[name][index]
+            for name, index in zip(names, combo)
+        })
+    if not points:
+        raise EmptyFeasibleSetError(
+            f"1/{fraction} fraction (phase {phase}) selects no cells "
+            f"from this grid"
+        )
+    return points
+
+
+def cells_for(
+    points: List[Point], replicates: int, base_seed: int
+) -> List[Cell]:
+    """Expand points into replicated cells with derived seeds.
+
+    Replicate ``i`` of every point runs with seed ``base_seed + i`` —
+    simple, documented, and visible in artifacts — so replicates are
+    independent draws while the whole design stays a pure function of
+    ``base_seed``.
+    """
+    if replicates < 1:
+        raise DseDesignError(
+            f"replicates must be >= 1, got {replicates}"
+        )
+    return [
+        Cell(point=dict(point), seed=base_seed + i, replicate=i)
+        for point in points
+        for i in range(replicates)
+    ]
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one evolutionary search."""
+
+    best: Point
+    best_fitness: float
+    generations: List[Dict[str, Any]] = field(default_factory=list)
+    evaluated: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "best": self.best,
+            "best_fitness": self.best_fitness,
+            "generations": self.generations,
+            "points_evaluated": len(self.evaluated),
+        }
+
+
+class EvolutionarySearch:
+    """Seeded tournament-selection + mutation search over a level grid.
+
+    ``feasible`` (optional) prunes the space: a point failing the
+    predicate is never evaluated. If no feasible point can be found —
+    proven by enumeration for small spaces, or after a generous
+    sampling budget for large ones — :class:`EmptyFeasibleSetError`
+    is raised before any simulation runs.
+
+    Fitness is *minimized*. The batch evaluator receives every not-
+    yet-evaluated point of a generation at once so the caller can fan
+    the cells out through the sweep engine.
+    """
+
+    #: Random-sampling budget per needed point before declaring the
+    #: feasible set empty (only for spaces too large to enumerate).
+    SAMPLE_BUDGET = 512
+
+    #: Enumerability threshold: spaces up to this many points are
+    #: checked for feasibility exactly.
+    ENUMERATE_LIMIT = 8192
+
+    def __init__(
+        self,
+        levels: Dict[str, List[Any]],
+        *,
+        population: int = 8,
+        generations: int = 4,
+        tournament: int = 2,
+        mutation_rate: float = 0.35,
+        elite: int = 1,
+        seed: int = 0,
+        feasible: Optional[Callable[[Point], bool]] = None,
+    ):
+        if not levels:
+            raise DseDesignError("empty factor space")
+        if population < 2:
+            raise DseDesignError(
+                f"population must be >= 2, got {population}"
+            )
+        if generations < 1:
+            raise DseDesignError(
+                f"generations must be >= 1, got {generations}"
+            )
+        if not 1 <= tournament <= population:
+            raise DseDesignError(
+                f"tournament size must be in [1, {population}], "
+                f"got {tournament}"
+            )
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise DseDesignError(
+                f"mutation_rate must be in [0, 1], got {mutation_rate}"
+            )
+        self.levels = {name: list(values) for name, values in levels.items()}
+        self.population = population
+        self.generations = generations
+        self.tournament = tournament
+        self.mutation_rate = mutation_rate
+        self.elite = max(0, min(elite, population - 1))
+        self.feasible = feasible
+        self._rng = SeededRNG(seed).derive("dse/evolve")
+
+    # -- point operations ------------------------------------------------------
+    def _random_point(self, rng: SeededRNG) -> Point:
+        return {
+            name: values[rng.randint(0, len(values) - 1)]
+            for name, values in self.levels.items()
+        }
+
+    def _mutate(self, point: Point, rng: SeededRNG) -> Point:
+        child = dict(point)
+        for name, values in self.levels.items():
+            if len(values) < 2:
+                continue
+            if rng.random() >= self.mutation_rate:
+                continue
+            alternatives = [v for v in values if v != child[name]]
+            child[name] = alternatives[rng.randint(0, len(alternatives) - 1)]
+        return child
+
+    def _space_size(self) -> int:
+        size = 1
+        for values in self.levels.values():
+            size *= len(values)
+        return size
+
+    def _seed_population(self, rng: SeededRNG) -> List[Point]:
+        """Feasible initial population, or a typed refusal."""
+        if self._space_size() <= self.ENUMERATE_LIMIT:
+            names = list(self.levels)
+            feasible_points = [
+                dict(zip(names, combo))
+                for combo in itertools.product(
+                    *(self.levels[name] for name in names)
+                )
+                if self.feasible is None or self.feasible(dict(zip(names, combo)))
+            ]
+            if not feasible_points:
+                raise EmptyFeasibleSetError(
+                    "no design point satisfies the feasibility "
+                    "constraint (checked by full enumeration)"
+                )
+            population = []
+            for _ in range(self.population):
+                population.append(dict(
+                    feasible_points[rng.randint(0, len(feasible_points) - 1)]
+                ))
+            return population
+        population = []
+        for _ in range(self.population):
+            for _attempt in range(self.SAMPLE_BUDGET):
+                candidate = self._random_point(rng)
+                if self.feasible is None or self.feasible(candidate):
+                    population.append(candidate)
+                    break
+            else:
+                raise EmptyFeasibleSetError(
+                    f"no feasible design point found in "
+                    f"{self.SAMPLE_BUDGET} samples"
+                )
+        return population
+
+    # -- search ----------------------------------------------------------------
+    def run(
+        self, evaluate: Callable[[List[Point]], List[float]]
+    ) -> EvolutionResult:
+        rng = self._rng
+        fitness: Dict[str, float] = {}
+        points_by_key: Dict[str, Point] = {}
+
+        def score(batch: List[Point]) -> None:
+            pending = []
+            for point in batch:
+                key = point_key(point)
+                points_by_key.setdefault(key, point)
+                if key not in fitness and not any(
+                    point_key(p) == key for p in pending
+                ):
+                    pending.append(point)
+            if pending:
+                values = evaluate(pending)
+                if len(values) != len(pending):
+                    raise DseDesignError(
+                        f"evaluator returned {len(values)} fitness "
+                        f"values for {len(pending)} points"
+                    )
+                for point, value in zip(pending, values):
+                    fitness[point_key(point)] = float(value)
+
+        population = self._seed_population(rng)
+        history: List[Dict[str, Any]] = []
+        for generation in range(self.generations):
+            score(population)
+            # Deterministic rank: fitness, then canonical point text.
+            ranked = sorted(
+                population,
+                key=lambda p: (fitness[point_key(p)], point_key(p)),
+            )
+            best = ranked[0]
+            history.append({
+                "generation": generation,
+                "best": dict(best),
+                "best_fitness": fitness[point_key(best)],
+                "evaluated_so_far": len(fitness),
+            })
+            if generation == self.generations - 1:
+                break
+            next_population = [dict(p) for p in ranked[: self.elite]]
+            while len(next_population) < self.population:
+                contenders = [
+                    population[rng.randint(0, len(population) - 1)]
+                    for _ in range(self.tournament)
+                ]
+                parent = min(
+                    contenders,
+                    key=lambda p: (fitness[point_key(p)], point_key(p)),
+                )
+                child = self._mutate(parent, rng)
+                if self.feasible is not None and not self.feasible(child):
+                    child = dict(parent)
+                next_population.append(child)
+            population = next_population
+
+        best_key = min(
+            fitness, key=lambda key: (fitness[key], key)
+        )
+        return EvolutionResult(
+            best=dict(points_by_key[best_key]),
+            best_fitness=fitness[best_key],
+            generations=history,
+            evaluated=dict(fitness),
+        )

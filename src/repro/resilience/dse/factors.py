@@ -1,0 +1,294 @@
+"""The DSE factor space: what can vary, and what values are legal.
+
+A *factor* is one knob of the configuration under exploration; a
+*design point* assigns one level to every factor. The space defines
+the legal domain per factor (numeric range or finite choice set) plus
+the default levels a design sweeps when the user does not override
+them — so a typo'd factor name or an out-of-range level fails fast
+with a typed error instead of deep inside a simulator build.
+
+The ``campaign`` factor's choice set is derived from the campaign
+catalogue's param-spec table (:data:`~repro.resilience.campaigns
+.CAMPAIGN_PARAMS`) — one source of truth shared with the REST fault
+hook and ``GET /v1/faults``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import ReproError
+from ..campaigns import CAMPAIGN_PARAMS
+
+__all__ = [
+    "DseDesignError",
+    "EmptyFeasibleSetError",
+    "Factor",
+    "FactorSpace",
+    "FailoverPolicy",
+    "FAILOVER_POLICIES",
+    "default_space",
+]
+
+
+class DseDesignError(ReproError, ValueError):
+    """Malformed design: unknown factor, bad level, bad parameters."""
+
+    code = "dse/bad-design"
+
+
+class EmptyFeasibleSetError(DseDesignError):
+    """No design point satisfies the feasibility constraint."""
+
+    code = "dse/empty-feasible-set"
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """One level of the ``failover_policy`` factor.
+
+    Bundles the endpoint-level recovery knobs (transaction timeout,
+    retry budget) with the control-plane escalation threshold and
+    whether the health monitor is allowed to execute a failover at
+    all. ``"none"`` is the deliberate canary policy: a fatal fault is
+    never healed, so availability collapses and the availability SLO
+    must flag the configuration in every report.
+    """
+
+    name: str
+    timeout_s: float
+    max_attempts: int
+    backoff_base_s: float
+    backoff_max_s: float
+    dead_after_failures: int
+    failover: bool
+    doc: str
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "timeout_s": self.timeout_s,
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_max_s": self.backoff_max_s,
+            "dead_after_failures": self.dead_after_failures,
+            "failover": self.failover,
+            "doc": self.doc,
+        }
+
+
+FAILOVER_POLICIES: Dict[str, FailoverPolicy] = {
+    policy.name: policy
+    for policy in (
+        FailoverPolicy(
+            "fast", timeout_s=20e-6, max_attempts=3,
+            backoff_base_s=2e-6, backoff_max_s=20e-6,
+            dead_after_failures=1, failover=True,
+            doc="tight timeouts, fail over on the first surfaced error",
+        ),
+        FailoverPolicy(
+            "patient", timeout_s=40e-6, max_attempts=5,
+            backoff_base_s=4e-6, backoff_max_s=80e-6,
+            dead_after_failures=2, failover=True,
+            doc="longer retry budget, fail over on the second error",
+        ),
+        FailoverPolicy(
+            "none", timeout_s=20e-6, max_attempts=2,
+            backoff_base_s=2e-6, backoff_max_s=20e-6,
+            dead_after_failures=1, failover=False,
+            doc="no self-healing: a fatal fault loses the remaining work",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One explorable knob: a typed domain plus default sweep levels."""
+
+    name: str
+    kind: str  # "int" | "float" | "bool" | "choice"
+    doc: str
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Tuple[Any, ...] = ()
+    default_levels: Tuple[Any, ...] = ()
+
+    def validate_level(self, value: Any) -> Any:
+        """Coerce and range-check one level; raises on anything off."""
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise DseDesignError(
+                    f"factor {self.name!r} is boolean, got {value!r}"
+                )
+            return value
+        if self.kind == "choice":
+            if value not in self.choices:
+                raise DseDesignError(
+                    f"factor {self.name!r} level {value!r} not in "
+                    f"{{{', '.join(map(repr, self.choices))}}}"
+                )
+            return value
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise DseDesignError(
+                    f"factor {self.name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise DseDesignError(
+                f"factor {self.name!r} must be a number, got {value!r}"
+            )
+        value = int(value) if self.kind == "int" else float(value)
+        if not self.minimum <= value <= self.maximum:
+            raise DseDesignError(
+                f"factor {self.name!r} level {value!r} outside "
+                f"[{self.minimum!r}, {self.maximum!r}]"
+            )
+        return value
+
+    def describe(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "doc": self.doc,
+            "default_levels": list(self.default_levels),
+        }
+        if self.kind == "choice":
+            record["choices"] = list(self.choices)
+        elif self.kind != "bool":
+            record["minimum"] = self.minimum
+            record["maximum"] = self.maximum
+        return record
+
+
+class FactorSpace:
+    """Ordered factor collection with level validation.
+
+    The iteration order of factors is the canonical axis order of
+    every design built over the space — deterministic grids, stable
+    effect tables, reproducible artifacts.
+    """
+
+    def __init__(self, factors: List[Factor]):
+        self._factors: Dict[str, Factor] = {}
+        for factor in factors:
+            if factor.name in self._factors:
+                raise DseDesignError(
+                    f"duplicate factor {factor.name!r}"
+                )
+            self._factors[factor.name] = factor
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._factors)
+
+    def __iter__(self):
+        return iter(self._factors.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factors
+
+    def factor(self, name: str) -> Factor:
+        try:
+            return self._factors[name]
+        except KeyError:
+            raise DseDesignError(
+                f"unknown factor {name!r} "
+                f"(have: {', '.join(self._factors)})"
+            ) from None
+
+    def levels(
+        self, overrides: Optional[Dict[str, List[Any]]] = None
+    ) -> Dict[str, List[Any]]:
+        """The per-factor sweep levels, validated, in space order.
+
+        ``overrides`` replaces a factor's default levels; unknown
+        factor names, empty level lists, duplicate levels, or levels
+        outside the factor's domain raise :class:`DseDesignError`.
+        """
+        overrides = dict(overrides or {})
+        for name in overrides:
+            self.factor(name)  # raises on unknown factors
+        out: Dict[str, List[Any]] = {}
+        for factor in self:
+            raw = overrides.get(factor.name, list(factor.default_levels))
+            if not raw:
+                raise DseDesignError(
+                    f"factor {factor.name!r} has no levels"
+                )
+            validated = [factor.validate_level(value) for value in raw]
+            if len(set(map(repr, validated))) != len(validated):
+                raise DseDesignError(
+                    f"factor {factor.name!r} has duplicate levels: "
+                    f"{validated!r}"
+                )
+            out[factor.name] = validated
+        return out
+
+    def validate_point(self, point: Dict[str, Any]) -> Dict[str, Any]:
+        """Normalize one design point (all factors, space order)."""
+        unknown = sorted(set(point) - set(self._factors))
+        if unknown:
+            raise DseDesignError(
+                f"unknown factor(s): {', '.join(unknown)}"
+            )
+        missing = [name for name in self._factors if name not in point]
+        if missing:
+            raise DseDesignError(
+                f"design point missing factor(s): {', '.join(missing)}"
+            )
+        return {
+            factor.name: factor.validate_level(point[factor.name])
+            for factor in self
+        }
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [factor.describe() for factor in self]
+
+
+def default_space() -> FactorSpace:
+    """The stock robustness factor space explored by ``repro dse``.
+
+    Domains are deliberately wider than the default levels: the
+    defaults keep a full factorial affordable, while the domain caps
+    what a user may request before the simulator would reject or
+    crawl (e.g. ``frame_flits`` ≥ 5 so one 128 B write fits a frame).
+    """
+    campaigns = ("none",) + tuple(sorted(CAMPAIGN_PARAMS))
+    return FactorSpace([
+        Factor(
+            "frame_flits", "int",
+            "LLC frame size in flits (frame payload granularity)",
+            minimum=5, maximum=64, default_levels=(8, 16),
+        ),
+        Factor(
+            "credit_depth", "int",
+            "receive-queue credit depth (outstanding frames per link)",
+            minimum=1, maximum=4096, default_levels=(64, 256),
+        ),
+        Factor(
+            "bonding", "bool",
+            "bond both network channels into one flow",
+            default_levels=(False,),
+        ),
+        Factor(
+            "loss_rate", "float",
+            "ambient per-frame Bernoulli loss on the lender's links "
+            "(degraded circuit)",
+            minimum=0.0, maximum=0.5, default_levels=(0.0, 0.01),
+        ),
+        Factor(
+            "campaign", "choice",
+            "fault campaign armed mid-workload against the lender's "
+            "fault domain ('none' = fault-free baseline)",
+            choices=campaigns, default_levels=("link-kill",),
+        ),
+        Factor(
+            "failover_policy", "choice",
+            "endpoint retry budget + control-plane self-healing policy",
+            choices=tuple(sorted(FAILOVER_POLICIES)),
+            default_levels=("fast", "none"),
+        ),
+    ])

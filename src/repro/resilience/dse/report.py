@@ -1,0 +1,347 @@
+"""Decision support: aggregate, judge, rank, and explain a design.
+
+:func:`build_report` turns evaluated cells into the artifact behind
+``python -m repro dse``: per-configuration response means, per-cell SLO
+verdicts, a ranking of the configurations that meet every objective
+(cheapest wire spend first), the breaching configurations with the
+objectives they violate, and fitted sensitivity models naming the
+factors that dominate each response.
+
+Determinism: the report is a pure function of the cells (which are
+pure functions of their specs), every collection is explicitly sorted,
+and nothing wall-clock enters the artifact — the same design at the
+same seed renders byte-identical text/JSON/markdown, which the CI
+smoke job diffs across a cold and a warm (all-cache-hits) run.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import combinations
+from typing import Any, Dict, List, Optional, Sequence
+
+from ...obs.slo import parse_slo_specs
+from .factors import DseDesignError
+from .model import fit_effects
+from .responses import DEFAULT_SLOS, evaluate_cell_slo
+
+__all__ = [
+    "RANKED_RESPONSES",
+    "build_report",
+    "render_text",
+    "render_markdown",
+]
+
+#: Responses the sensitivity section models, in display order.
+RANKED_RESPONSES = (
+    "availability",
+    "bandwidth_cost",
+    "goodput_bytes_per_s",
+    "downtime_s",
+)
+
+
+def _point_key(point: Dict[str, Any]) -> str:
+    return json.dumps(point, sort_keys=True, separators=(",", ":"))
+
+
+def _point_text(point: Dict[str, Any]) -> str:
+    return " ".join(
+        f"{name}={json.dumps(value)}" for name, value in point.items()
+    )
+
+
+def _num(value: float) -> str:
+    return format(value, ".6g")
+
+
+def build_report(
+    *,
+    design: Dict[str, Any],
+    cells: Sequence[Dict[str, Any]],
+    levels: Dict[str, List[Any]],
+    slo_lines: Sequence[str] = DEFAULT_SLOS,
+    objective: str = "bandwidth_cost",
+) -> Dict[str, Any]:
+    """Judge and rank an evaluated design.
+
+    ``cells`` carry ``point``/``seed``/``replicate`` plus the
+    ``value`` returned by ``run_cell``. ``levels`` is the design's
+    per-factor level table (the coding for sensitivity models).
+    ``objective`` names the response minimized among SLO-passing
+    configurations.
+    """
+    if not cells:
+        raise DseDesignError("cannot report on an empty design")
+    if objective not in RANKED_RESPONSES:
+        raise DseDesignError(
+            f"unknown objective {objective!r} "
+            f"(choose from {', '.join(RANKED_RESPONSES)})"
+        )
+    specs = parse_slo_specs(list(slo_lines))
+
+    judged = []
+    for cell in cells:
+        verdict = evaluate_cell_slo(cell["value"], specs)
+        judged.append({
+            "point": dict(cell["point"]),
+            "seed": cell["seed"],
+            "replicate": cell["replicate"],
+            "responses": dict(cell["value"]["responses"]),
+            "verified": cell["value"]["verified"],
+            "slo_ok": verdict["ok"],
+            "breached": sorted(
+                result["name"]
+                for result in verdict["results"]
+                if not result["ok"]
+            ),
+            "slo": verdict,
+        })
+    judged.sort(key=lambda c: (_point_key(c["point"]), c["seed"]))
+
+    # Aggregate per configuration: response means over replicates; a
+    # configuration passes only if every replicate passed.
+    configs: Dict[str, Dict[str, Any]] = {}
+    for cell in judged:
+        key = _point_key(cell["point"])
+        entry = configs.setdefault(key, {
+            "point": cell["point"],
+            "cells": 0,
+            "seeds": [],
+            "responses": {},
+            "slo_ok": True,
+            "breached": set(),
+        })
+        entry["cells"] += 1
+        entry["seeds"].append(cell["seed"])
+        entry["slo_ok"] = entry["slo_ok"] and cell["slo_ok"]
+        entry["breached"].update(cell["breached"])
+        for name, value in cell["responses"].items():
+            entry["responses"].setdefault(name, []).append(value)
+    config_rows = []
+    for key in sorted(configs):
+        entry = configs[key]
+        config_rows.append({
+            "point": entry["point"],
+            "cells": entry["cells"],
+            "seeds": sorted(entry["seeds"]),
+            "responses": {
+                name: sum(samples) / len(samples)
+                for name, samples in sorted(entry["responses"].items())
+            },
+            "slo_ok": entry["slo_ok"],
+            "breached": sorted(entry["breached"]),
+        })
+
+    passing = sorted(
+        (row for row in config_rows if row["slo_ok"]),
+        key=lambda row: (
+            row["responses"].get(objective, 0.0), _point_key(row["point"])
+        ),
+    )
+    breaching = sorted(
+        (row for row in config_rows if not row["slo_ok"]),
+        key=lambda row: (
+            -len(row["breached"]), _point_key(row["point"])
+        ),
+    )
+
+    # Sensitivity models over every cell (replicates included).
+    points = [cell["point"] for cell in judged]
+    varying = {
+        name: vals for name, vals in levels.items() if len(vals) > 1
+    }
+    main_width = 1 + sum(len(vals) - 1 for vals in varying.values())
+    pairs = list(combinations(varying, 2))
+    pair_width = sum(
+        (len(varying[a]) - 1) * (len(varying[b]) - 1) for a, b in pairs
+    )
+    # Pairwise interactions only when the design can support them.
+    interactions = pairs if len(points) > main_width + pair_width else ()
+    sensitivity = {}
+    if varying:
+        for response in RANKED_RESPONSES:
+            model = fit_effects(
+                points,
+                [cell["responses"][response] for cell in judged],
+                levels,
+                response=response,
+                interactions=interactions,
+            )
+            sensitivity[response] = model.describe()
+
+    return {
+        "design": dict(design),
+        "levels": {name: list(vals) for name, vals in levels.items()},
+        "objective": objective,
+        "slo": list(slo_lines),
+        "configs": config_rows,
+        "ranking": {
+            "passing": [
+                _point_key(row["point"]) for row in passing
+            ],
+            "breaching": [
+                _point_key(row["point"]) for row in breaching
+            ],
+        },
+        "recommendation": (
+            dict(passing[0]["point"]) if passing else None
+        ),
+        "sensitivity": sensitivity,
+        "cells": judged,
+    }
+
+
+def _dominant_factors(
+    report: Dict[str, Any], response: str, top: int = 2
+) -> List[str]:
+    model = report["sensitivity"].get(response)
+    if model is None:
+        return []
+    return [
+        f"{entry['factor']} (swing {_num(entry['importance'])})"
+        for entry in model["factors"][:top]
+        if entry["importance"] > 0.0
+    ]
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    """Terminal rendering of the decision-support report."""
+    design = report["design"]
+    configs = report["configs"]
+    total_cells = sum(row["cells"] for row in configs)
+    lines = [
+        f"DSE decision support — {design.get('kind', 'design')}: "
+        f"{len(configs)} configurations, {total_cells} cells",
+        f"objective: minimize {report['objective']} subject to "
+        f"{len(report['slo'])} SLO(s)",
+    ]
+    for spec in report["slo"]:
+        lines.append(f"  slo  {spec}")
+
+    by_key = {_point_key(row["point"]): row for row in configs}
+    lines.append("")
+    passing = report["ranking"]["passing"]
+    if passing:
+        lines.append(
+            f"configurations meeting every SLO "
+            f"(cheapest {report['objective']} first):"
+        )
+        for rank, key in enumerate(passing, start=1):
+            row = by_key[key]
+            lines.append(
+                f"  {rank}. {_point_text(row['point'])}  "
+                f"{report['objective']}={_num(row['responses'][report['objective']])}"
+                f"  availability={_num(row['responses']['availability'])}"
+            )
+    else:
+        lines.append("no configuration meets every SLO")
+
+    breaching = report["ranking"]["breaching"]
+    if breaching:
+        lines.append("")
+        lines.append("configurations breaching SLOs:")
+        for key in breaching:
+            row = by_key[key]
+            lines.append(
+                f"  x  {_point_text(row['point'])}  "
+                f"breaches: {', '.join(row['breached'])}"
+            )
+
+    if report["sensitivity"]:
+        lines.append("")
+        lines.append("sensitivity (dominant factors per response):")
+        for response in RANKED_RESPONSES:
+            model = report["sensitivity"].get(response)
+            if model is None:
+                continue
+            dominant = _dominant_factors(report, response)
+            shown = ", ".join(dominant) if dominant else "none (flat)"
+            lines.append(
+                f"  {response}: {shown}  "
+                f"[r2={_num(model['r_squared'])}]"
+            )
+
+    lines.append("")
+    if report["recommendation"] is not None:
+        lines.append(
+            f"recommendation: {_point_text(report['recommendation'])}"
+        )
+    else:
+        lines.append(
+            "recommendation: none — relax the SLOs or widen the design"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    """Markdown rendering (committed as the CI artifact)."""
+    design = report["design"]
+    configs = report["configs"]
+    by_key = {_point_key(row["point"]): row for row in configs}
+    factor_names = list(report["levels"])
+
+    lines = [
+        "# DSE decision support",
+        "",
+        f"- design: `{design.get('kind', 'design')}`",
+        f"- configurations: {len(configs)} "
+        f"({sum(row['cells'] for row in configs)} cells)",
+        f"- objective: minimize `{report['objective']}` "
+        f"subject to the SLOs below",
+        "",
+        "## Objectives",
+        "",
+    ]
+    for spec in report["slo"]:
+        lines.append(f"- `{spec}`")
+
+    lines += ["", "## Ranking", ""]
+    header = (
+        ["rank"] + factor_names
+        + [report["objective"], "availability", "SLO"]
+    )
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    rank = 0
+    for key in report["ranking"]["passing"]:
+        rank += 1
+        row = by_key[key]
+        cells = [str(rank)]
+        cells += [json.dumps(row["point"][name]) for name in factor_names]
+        cells += [
+            _num(row["responses"][report["objective"]]),
+            _num(row["responses"]["availability"]),
+            "pass",
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    for key in report["ranking"]["breaching"]:
+        row = by_key[key]
+        cells = ["—"]
+        cells += [json.dumps(row["point"][name]) for name in factor_names]
+        cells += [
+            _num(row["responses"][report["objective"]]),
+            _num(row["responses"]["availability"]),
+            "BREACH: " + ", ".join(row["breached"]),
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+
+    if report["sensitivity"]:
+        lines += ["", "## Sensitivity", ""]
+        for response in RANKED_RESPONSES:
+            model = report["sensitivity"].get(response)
+            if model is None:
+                continue
+            dominant = _dominant_factors(report, response)
+            shown = ", ".join(dominant) if dominant else "none (flat)"
+            lines.append(
+                f"- `{response}`: {shown} (r² = {_num(model['r_squared'])})"
+            )
+
+    lines += ["", "## Recommendation", ""]
+    if report["recommendation"] is not None:
+        lines.append(f"`{_point_text(report['recommendation'])}`")
+    else:
+        lines.append("No configuration meets every SLO.")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Response extraction: turn one cell's raw run into robustness numbers.
+
+The *responses* of a design point are the quantities the decision
+support ranks and models:
+
+* ``availability`` — fraction of the requested workload bytes that were
+  acknowledged end-to-end (work-completion availability; a cell whose
+  fault permanently loses the tail of the workload scores < 1);
+* ``recovery_time_s`` — how long the executed failover took (0 when no
+  failover ran);
+* ``downtime_s`` — first fault taking effect -> failover completed (or
+  end of run, if the cell never healed and lost work);
+* ``goodput_bytes_per_s`` — acknowledged bytes over total sim time;
+* ``bandwidth_cost`` — wire bytes sent per acknowledged byte (replay
+  storms and journal replays make this climb);
+* ``replayed_bytes`` / ``lost_bytes`` — journal replay volume vs work
+  the configuration failed to deliver.
+
+SLO verdicts are computed *outside* the cached cell value, against the
+cell's embedded metrics snapshot (via a snapshot adapter), so changing
+the objective thresholds re-judges cached cells without re-simulating
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ...obs.slo import SloEngine, SloSpec
+
+__all__ = ["DEFAULT_SLOS", "compute_responses", "evaluate_cell_slo"]
+
+#: Stock objectives for ``python -m repro dse``. The availability floor
+#: is the headline: a config that loses workload bytes to an unhealed
+#: fault breaches it deterministically (the smoke design's ``none``
+#: failover policy is the intended canary). The recovery/downtime
+#: ceilings bound how long healing may take when it does run.
+DEFAULT_SLOS = (
+    "availability-floor: dse.availability{component=dse} >= 0.999",
+    "recovery-ceiling: dse.recovery_time_s{component=dse} <= 5e-3",
+    "downtime-ceiling: dse.downtime_s{component=dse} <= 5e-3",
+)
+
+
+def _sum_metric(metrics: Dict[str, float], name: str) -> float:
+    """Sum one metric family over every label set in a snapshot."""
+    prefix = name + "{"
+    return sum(
+        value
+        for key, value in metrics.items()
+        if key == name or key.startswith(prefix)
+    )
+
+
+def compute_responses(
+    *,
+    size_bytes: int,
+    bytes_acked: int,
+    drained_at_s: float,
+    events: Sequence[Dict[str, Any]],
+    metrics: Dict[str, float],
+    replayed_bytes: int,
+) -> Dict[str, float]:
+    """Derive the response vector from a cell's raw run artifacts.
+
+    ``events`` is the cell's (fault/health) journal slice; recovery and
+    downtime come from it — fault onset is the first ``fault.*`` event,
+    healing is the ``health.failover`` event. ``metrics`` is the cell's
+    registry snapshot (wire volume, drop counters).
+    """
+    fault_times = [
+        event["t"] for event in events
+        if str(event.get("kind", "")).startswith("fault.")
+    ]
+    failovers = [
+        event for event in events
+        if event.get("kind") == "health.failover"
+    ]
+    fault_at = min(fault_times) if fault_times else None
+
+    recovery_time_s = (
+        float(failovers[-1]["recovery_time_s"]) if failovers else 0.0
+    )
+    if fault_at is None:
+        downtime_s = 0.0
+    elif failovers:
+        downtime_s = max(0.0, float(failovers[-1]["t"]) - fault_at)
+    elif bytes_acked < size_bytes:
+        # Never healed and lost work: down for the rest of the run.
+        downtime_s = max(0.0, drained_at_s - fault_at)
+    else:
+        # Fault absorbed by retry/replay with no work lost.
+        downtime_s = 0.0
+
+    wire_bytes = _sum_metric(metrics, "link.bytes_sent")
+    frames_dropped = _sum_metric(metrics, "net.faults.frames_dropped")
+    availability = bytes_acked / size_bytes if size_bytes else 0.0
+    goodput = bytes_acked / drained_at_s if drained_at_s > 0 else 0.0
+    # max(acked, 1): a cell that delivered nothing still reports its
+    # wire spend as a finite (per-byte-requested) cost, keeping the
+    # response JSON-clean instead of infinite.
+    bandwidth_cost = wire_bytes / max(bytes_acked, 1)
+
+    return {
+        "availability": availability,
+        "recovery_time_s": recovery_time_s,
+        "downtime_s": downtime_s,
+        "goodput_bytes_per_s": goodput,
+        "bandwidth_cost": bandwidth_cost,
+        "wire_bytes": wire_bytes,
+        "frames_dropped": frames_dropped,
+        "replayed_bytes": float(replayed_bytes),
+        "lost_bytes": float(max(0, size_bytes - bytes_acked)),
+    }
+
+
+class _SnapshotRegistry:
+    """Adapter: a frozen snapshot behind the registry's read surface.
+
+    :meth:`SloEngine.evaluate` touches nothing but ``snapshot()``, so
+    cached cells can be (re-)judged against new objectives without
+    rebuilding a simulator or invalidating the sweep cache.
+    """
+
+    def __init__(self, snapshot: Dict[str, float]):
+        self._snapshot = dict(snapshot)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._snapshot)
+
+
+def evaluate_cell_slo(
+    cell: Dict[str, Any], specs: Sequence[SloSpec]
+) -> Dict[str, Any]:
+    """Judge one cached cell value against the given objectives.
+
+    Returns the :class:`~repro.obs.slo.SloReport` description (plain
+    dict) evaluated at the cell's drain time.
+    """
+    engine = SloEngine(list(specs))
+    report = engine.evaluate(
+        _SnapshotRegistry(cell["metrics"]),
+        now=float(cell.get("drained_at_s", 0.0)),
+    )
+    return report.describe()
