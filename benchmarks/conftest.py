@@ -57,14 +57,14 @@ def sweep_payload(test_file: str, function: str = "compute_payload",
     fingerprint, so editing either the simulation stack or the
     benchmark itself invalidates the cached payload.
     """
-    from repro.sweep import SweepEngine, make_spec
+    from repro.sweep import SweepEngine, make_spec, resolve_jobs
 
     module = os.path.splitext(os.path.basename(test_file))[0]
     spec = make_spec(
         f"py:{module}:{function}", extra_files=[test_file], **kwargs
     )
     engine = SweepEngine(
-        jobs=os.environ.get("SWEEP_JOBS", "1"),
+        jobs=resolve_jobs(),
         cache=os.environ.get("SWEEP_NO_CACHE", "") in ("", "0"),
     )
     [outcome] = engine.run([spec])

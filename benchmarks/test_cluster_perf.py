@@ -1,0 +1,120 @@
+"""Perf harness for the sharded rack-domain cluster replay.
+
+Measures the same trace replay (4 rack domains, live control-plane
+traffic, conservative sync) serially and fanned out over domain worker
+processes, and records the scaling curve in ``BENCH_cluster.json`` at
+the repository root.
+
+Correctness comes first: every parallel run's artifact must be
+**byte-identical** to the serial artifact (the sharded simulator's
+headline invariant) — a speedup over a diverged simulation would be
+meaningless.
+
+Set ``CLUSTER_PERF_SMOKE=1`` for a CI-sized run with a relaxed >=1.2x
+floor at 2 workers. The full run asserts the ISSUE target: >=2.5x at 4
+domain workers on a >=4-CPU host. Like the sweep benchmark, the
+harness never oversubscribes — it fans out with ``min(4, cpus)``
+workers, and on smaller hosts the assertion degrades to an
+engine-overhead bound while the measured curve (and the CPU count) is
+still recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.cluster import ClusterConfig, run_cluster
+
+SMOKE = os.environ.get("CLUSTER_PERF_SMOKE", "") not in ("", "0")
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_cluster.json",
+)
+
+CPUS = os.cpu_count() or 1
+JOBS = min(4, CPUS)
+
+CONFIG = ClusterConfig(
+    racks=4,
+    machines=48 if SMOKE else 100,
+    tasks=3_000 if SMOKE else 12_000,
+    seed=17,
+)
+
+# Required speedup at the widest fan-out measured. The 2.5x ISSUE
+# target presumes 4 truly concurrent workers; smaller hosts bound the
+# coordinator + pool-dispatch overhead instead.
+if JOBS >= 4:
+    TARGET = 1.2 if SMOKE else 2.5
+elif JOBS > 1:
+    TARGET = 1.05 if SMOKE else 1.2
+else:
+    TARGET = 0.8
+
+
+def _canonical(artifact):
+    return json.dumps(artifact, sort_keys=True)
+
+
+def test_cluster_scaling_curve():
+    job_counts = sorted({1, min(2, JOBS), JOBS})
+
+    curve = []
+    reference = None
+    serial_artifact = None
+    for jobs in job_counts:
+        started = time.perf_counter()
+        artifact, runtime = run_cluster(CONFIG, jobs=jobs)
+        elapsed = time.perf_counter() - started
+        text = _canonical(artifact)
+        if reference is None:
+            reference = text
+            serial_artifact = artifact
+        else:
+            # Byte-identical across every job count, or the curve is
+            # comparing different simulations.
+            assert text == reference, f"jobs={jobs} diverged from serial"
+        curve.append({
+            "jobs": jobs,
+            "wall_s": round(elapsed, 4),
+            "busy_s": round(runtime["busy_s"], 4),
+        })
+
+    serial_s = curve[0]["wall_s"]
+    for point in curve:
+        point["speedup"] = round(serial_s / point["wall_s"], 3)
+    speedup = curve[-1]["speedup"]
+
+    artifact = serial_artifact
+    print(
+        f"cluster replay ({CONFIG.racks} racks, {CONFIG.machines} "
+        f"machines, {artifact['summary']['tasks']} tasks, "
+        f"{artifact['rounds']} windows, {CPUS} CPUs): "
+        + ", ".join(
+            f"x{p['jobs']} {p['wall_s']:.2f}s ({p['speedup']:.2f}x)"
+            for p in curve
+        )
+    )
+
+    report = {
+        "config": CONFIG.describe(),
+        "cpus": CPUS,
+        "smoke": SMOKE,
+        "rounds": artifact["rounds"],
+        "messages": artifact["messages"],
+        "tasks": artifact["summary"]["tasks"],
+        "curve": curve,
+        "speedup": speedup,
+        "target": TARGET,
+    }
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= TARGET, (
+        f"cluster replay at {job_counts[-1]} workers: {speedup:.2f}x < "
+        f"{TARGET}x target"
+    )

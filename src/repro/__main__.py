@@ -1004,6 +1004,167 @@ def _run_dse(argv) -> int:
     return 0
 
 
+# -- sharded multi-rack cluster replay --------------------------------------------
+
+
+def _run_cluster(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description=(
+            "Sharded rack-domain simulation: replay the cluster trace "
+            "as live attach/detach/steal traffic across N rack "
+            "testbeds, each its own simulation domain under "
+            "conservative (Chandy-Misra) time sync. --jobs fans the "
+            "domains out over worker processes; the artifact is "
+            "byte-identical to a serial run for the same config."
+        ),
+        epilog=(
+            "examples: python -m repro cluster --racks 4 --tasks 2000; "
+            "python -m repro cluster --scale 0.013 --jobs 4 --chaos "
+            "--out cluster-artifacts"
+        ),
+    )
+    parser.add_argument(
+        "--racks", type=int, default=4,
+        help="rack domains (each a full packet-switched testbed)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4,
+        help="nodes per rack; first half borrow, second half lend",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="size the logical-machine fleet as a fraction of the "
+             "Google trace's 12555 machines (overrides --machines)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=None,
+        help="logical machines across the cluster (default 160)",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=None,
+        help="trace length; default sizes it from the machine count",
+    )
+    parser.add_argument(
+        "--sample", type=float, default=1.0,
+        help="deterministically keep this fraction of the trace's "
+             "tasks (0 < f <= 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=17,
+        help="trace seed (same seed + config => identical artifact)",
+    )
+    parser.add_argument(
+        "--local-fraction", type=float, default=None, metavar="F",
+        help="machine memory that is local; tasks above it lease from "
+             "the rack pool (default 0.1)",
+    )
+    parser.add_argument(
+        "--latency", type=float, default=None, metavar="T",
+        help="one-way inter-rack latency in trace time units — also "
+             "the sync lookahead / window width (default 50)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="crash each rack's first memory lender mid-run "
+             "(force-detach its leases, remap borrowers)",
+    )
+    parser.add_argument(
+        "--jobs", default=None,
+        help="domain worker processes ('auto' = cpu count; default: "
+             "$SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for cluster-summary.json + cluster-journal.jsonl",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the summary JSON instead of the text rendering",
+    )
+    args = parser.parse_args(argv)
+
+    from .cluster import (
+        GOOGLE_TRACE_MACHINES,
+        ClusterConfig,
+        run_cluster,
+        write_artifacts,
+    )
+    from .sweep import resolve_jobs
+
+    machines = args.machines
+    if args.scale is not None:
+        if not 0.0 < args.scale <= 1.0:
+            parser.error(f"--scale must be in (0, 1], got {args.scale}")
+        machines = max(args.racks, round(GOOGLE_TRACE_MACHINES * args.scale))
+    overrides = {}
+    if args.local_fraction is not None:
+        overrides["local_memory_fraction"] = args.local_fraction
+    if args.latency is not None:
+        overrides["inter_rack_latency"] = args.latency
+    config = ClusterConfig(
+        racks=args.racks,
+        nodes_per_rack=args.nodes,
+        machines=machines if machines is not None else 160,
+        tasks=args.tasks,
+        seed=args.seed,
+        sample=args.sample,
+        chaos=args.chaos,
+        **overrides,
+    )
+    jobs = resolve_jobs(args.jobs)
+
+    artifact, runtime = run_cluster(config, jobs=jobs)
+    summary = artifact["summary"]
+
+    if args.json:
+        print(json.dumps(
+            {
+                "config": artifact["config"],
+                "horizon": artifact["horizon"],
+                "rounds": artifact["rounds"],
+                "messages": artifact["messages"],
+                "summary": summary,
+                "runtime": runtime,
+            },
+            sort_keys=True,
+        ))
+    else:
+        print(
+            f"cluster : {config.racks} racks x {config.nodes_per_rack} "
+            f"nodes, {config.machines} machines, "
+            f"{summary['tasks']} tasks, seed {config.seed}"
+            f"{', chaos' if config.chaos else ''}"
+        )
+        print(
+            f"sync    : {artifact['rounds']} windows of "
+            f"{config.inter_rack_latency:g} (horizon "
+            f"{artifact['horizon']:.0f}), {artifact['messages']} "
+            f"inter-rack messages, jobs {runtime['jobs']}"
+        )
+        total = max(summary["tasks"], 1)
+        share = "  ".join(
+            f"{name} {100.0 * count / total:.1f}%"
+            for name, count in summary["classes"].items()
+        )
+        print(f"classes : {share}")
+        counters = {k: v for k, v in summary["counters"].items() if v}
+        if counters:
+            print(
+                "traffic : "
+                + "  ".join(f"{k} {v}" for k, v in sorted(counters.items()))
+            )
+        print(
+            f"wall    : {runtime['wall_s']:.2f} s "
+            f"(domain busy {runtime['busy_s']:.2f} s)"
+        )
+    if args.out is not None:
+        paths = write_artifacts(artifact, args.out)
+        print(f"summary : {paths['summary']}")
+        print(f"journal : {paths['journal']}")
+    return 0
+
+
 # -- entry point -----------------------------------------------------------------
 
 #: Subcommands with their own argv (dispatched before the main parser).
@@ -1013,6 +1174,7 @@ _SUBCOMMANDS = {
     "figures": _run_figures,
     "sweep": _run_sweep,
     "chaos": _run_chaos,
+    "cluster": _run_cluster,
     "dse": _run_dse,
     "backends": _run_backends,
 }
@@ -1055,6 +1217,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "chaos",
         help="deterministic fault-recovery scenario (--seed N, --out DIR)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "cluster",
+        help="sharded multi-rack trace replay under conservative time "
+             "sync (--racks N, --scale S, --jobs J)",
         add_help=False,
     )
     sub.add_parser(

@@ -17,14 +17,15 @@ al. [1], [16]):
 from __future__ import annotations
 
 import enum
+import hashlib
 import heapq
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from ..sim.rng import SeededRNG
 
 __all__ = ["TaskRequest", "TraceEvent", "EventKind", "TraceConfig",
-           "synthesize_trace"]
+           "synthesize_trace", "downsample_trace", "trace_window"]
 
 
 class EventKind(enum.Enum):
@@ -126,6 +127,52 @@ def synthesize_trace(config: Optional[TraceConfig] = None) -> List[TraceEvent]:
     events.sort(key=lambda e: (e.time, e.kind is EventKind.SUBMIT,
                                e.task.task_id))
     return events
+
+
+def downsample_trace(events: Sequence[TraceEvent], fraction: float,
+                     seed: int = 0) -> List[TraceEvent]:
+    """Keep a deterministic ``fraction`` of the trace's tasks.
+
+    Thinning is by *task*, not by event: a kept task keeps both its
+    SUBMIT and FINISH, so the down-sampled trace is still a valid
+    allocate/release stream. Selection hashes ``(seed, task_id)``
+    (sha256, like :meth:`~repro.sim.rng.SeededRNG.derive`), so the
+    subset is identical across processes and runs regardless of hash
+    randomization, and a larger fraction's subset always contains a
+    smaller fraction's — the property scaling studies want when they
+    sweep the ``--scale`` knob.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    if fraction == 1.0:
+        return list(events)
+    threshold = fraction * float(2 ** 64)
+
+    def kept(task_id: int) -> bool:
+        digest = hashlib.sha256(f"{seed}/{task_id}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") < threshold
+
+    decisions = {}
+    out = []
+    for event in events:
+        task_id = event.task.task_id
+        decision = decisions.get(task_id)
+        if decision is None:
+            decision = decisions[task_id] = kept(task_id)
+        if decision:
+            out.append(event)
+    return out
+
+
+def trace_window(events: Sequence[TraceEvent], start: float,
+                 end: float) -> List[TraceEvent]:
+    """Events with ``start <= time < end`` (time order preserved).
+
+    An empty window (``start >= end`` or no events inside) returns
+    ``[]`` rather than raising — replay loops treat it as a quiet
+    period.
+    """
+    return [event for event in events if start <= event.time < end]
 
 
 def ratio_span_orders_of_magnitude(events: Iterator[TraceEvent]) -> float:

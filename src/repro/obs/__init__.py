@@ -73,9 +73,11 @@ from .events import (
     Event,
     EventLog,
     active_event_log,
+    capture_into,
     disable_events,
     enable_events,
     event_logging,
+    merge_event_streams,
     validate_event_jsonl,
 )
 from .profiler import (
@@ -122,6 +124,8 @@ __all__ = [
     "disable_events",
     "active_event_log",
     "event_logging",
+    "capture_into",
+    "merge_event_streams",
     "validate_event_jsonl",
     "SimProfiler",
     "enable_profiling",

@@ -34,7 +34,9 @@ __all__ = [
     "disable_events",
     "active_event_log",
     "event_logging",
+    "capture_into",
     "emit",
+    "merge_event_streams",
     "validate_event_jsonl",
 ]
 
@@ -213,3 +215,63 @@ def emit(now: float, kind: str, **fields: Any) -> None:
     """Emit an event if logging is enabled (guarded helper)."""
     if _LOG is not None:
         _LOG.emit(now, kind, **fields)
+
+
+class capture_into:
+    """Route emission into a caller-owned :class:`EventLog`, scoped.
+
+    Unlike :class:`event_logging` (which installs a *fresh* log and
+    discards the switch state), this temporarily redirects the module
+    switch to an existing log and restores whatever was active on
+    exit. It is how one process hosts several independent journals:
+    the rack-domain coordinator (:mod:`repro.sim.domains`) runs many
+    domains per worker and each domain swaps its own journal in for
+    the duration of its window, so per-domain streams never
+    interleave at the source.
+    """
+
+    def __init__(self, log: EventLog):
+        self.log = log
+        self._saved: Optional[tuple] = None
+
+    def __enter__(self) -> EventLog:
+        global ENABLED, _LOG
+        self._saved = (ENABLED, _LOG)
+        ENABLED = True
+        _LOG = self.log
+        return self.log
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global ENABLED, _LOG
+        ENABLED, _LOG = self._saved
+        self._saved = None
+
+
+def merge_event_streams(
+    streams: Dict[str, List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Merge per-source journals into one deterministically-ordered list.
+
+    ``streams`` maps a source name (e.g. ``rack0``) to that source's
+    event records (``Event.as_dict()`` shape). Multiple sources emit at
+    the same sim time constantly — every rack sees the same trace
+    timestamps — so plain ``(t,)`` ordering would leave the interleave
+    to chance. The merge key is the stable triple ``(t, domain,
+    domain_seq)``: time first, then source name, then the source's own
+    emission order. Each merged record carries ``domain`` and
+    ``domain_seq`` (the source's original ``seq``), and the global
+    ``seq`` is re-assigned contiguously so the merged journal satisfies
+    :func:`validate_event_jsonl` (strictly increasing seq,
+    non-decreasing t).
+    """
+    tagged = []
+    for domain in sorted(streams):
+        for record in streams[domain]:
+            merged = dict(record)
+            merged["domain"] = domain
+            merged["domain_seq"] = merged.pop("seq")
+            tagged.append(merged)
+    tagged.sort(key=lambda r: (r["t"], r["domain"], r["domain_seq"]))
+    for seq, record in enumerate(tagged):
+        record["seq"] = seq
+    return tagged

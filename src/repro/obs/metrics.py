@@ -264,7 +264,7 @@ class MetricsRegistry:
         for collector in self._collectors:
             collector(self)
 
-    def merge_flat(self, flat: Dict[str, Any]) -> None:
+    def merge_flat(self, flat: Dict[str, Any], **extra_labels: Any) -> None:
         """Merge a flattened snapshot by summation.
 
         This is how per-worker counters from a parallel sweep fold into
@@ -273,9 +273,16 @@ class MetricsRegistry:
         so N workers' ``sweep.worker.busy_s`` sum into one series.
         Summation is exact for counter-style series; derived series
         (means, percentiles) should not be merged this way.
+
+        ``extra_labels`` are stamped onto every merged series (without
+        overriding a label the series already carries) — the cluster
+        replay uses it to keep each rack domain's series distinct
+        (``domain="rack0"``) in one parent registry.
         """
         for qualified, value in flat.items():
             name, labels = parse_qualified(qualified)
+            for key, extra in extra_labels.items():
+                labels.setdefault(key, extra)
             self.gauge(name, **labels).adjust(float(value))
 
     # -- output ----------------------------------------------------------------

@@ -1,5 +1,6 @@
 """Deterministic discrete-event simulation kernel and instrumentation."""
 
+from .domains import DomainCoordinator, DomainMessage, SyncError
 from .engine import (
     Interrupt,
     Process,
@@ -21,6 +22,9 @@ from .stats import (
 
 __all__ = [
     "Simulator",
+    "DomainCoordinator",
+    "DomainMessage",
+    "SyncError",
     "Process",
     "Signal",
     "Timeout",

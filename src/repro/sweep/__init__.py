@@ -21,8 +21,16 @@ Figure regeneration goes through :func:`run_figures` (the
 ``python -m repro figures --jobs N`` CLI is a thin wrapper over it).
 """
 
+from .bootstrap import (
+    derive_seed,
+    normalize_jobs,
+    pool_initargs,
+    pool_worker_init,
+    resolve_jobs,
+    worker_run_snapshot,
+)
 from .cache import ResultCache, default_cache_dir
-from .engine import SweepEngine, SweepOutcome, normalize_jobs, resolve_target
+from .engine import SweepEngine, SweepOutcome, resolve_target
 from .fingerprint import combine_fingerprints, file_digest, source_fingerprint
 from .runner import figure_specs, run_figures
 from .spec import RunSpec, make_spec
@@ -35,6 +43,11 @@ __all__ = [
     "SweepEngine",
     "SweepOutcome",
     "normalize_jobs",
+    "resolve_jobs",
+    "pool_worker_init",
+    "pool_initargs",
+    "derive_seed",
+    "worker_run_snapshot",
     "resolve_target",
     "figure_specs",
     "run_figures",

@@ -25,29 +25,23 @@ from __future__ import annotations
 
 import importlib
 import inspect
-import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from .. import accel
-from ..obs import MetricsRegistry, disable_tracing
+from ..obs import MetricsRegistry
+from .bootstrap import (
+    normalize_jobs,
+    pool_initargs,
+    pool_worker_init,
+    worker_run_snapshot,
+)
 from .cache import ResultCache
 from .spec import RunSpec
 
 __all__ = ["SweepEngine", "SweepOutcome", "resolve_target", "normalize_jobs"]
-
-
-def normalize_jobs(jobs: Union[int, str, None]) -> int:
-    """``'auto'`` -> CPU count; anything else -> positive int."""
-    if jobs in (None, "", "auto"):
-        return max(1, os.cpu_count() or 1)
-    count = int(jobs)
-    if count < 1:
-        raise ValueError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
-    return count
 
 
 def resolve_target(name: str) -> Callable[..., Any]:
@@ -84,18 +78,6 @@ def _accepts_seed(target: Callable[..., Any]) -> bool:
     )
 
 
-def _worker_init(backend_name: Optional[str] = None) -> None:
-    # A worker forked mid-trace would inherit the parent's live tracer;
-    # every spec must simulate from a clean observability slate.
-    disable_tracing()
-    # Spawned workers re-import and would re-resolve REPRO_BACKEND from
-    # their own environment; pin them to the parent's active backend so
-    # a sweep's results all come off one code path (and match the
-    # backend recorded in each spec's fingerprint).
-    if backend_name is not None:
-        accel.select_backend(backend_name)
-
-
 def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one spec payload (in-process or inside a pool worker)."""
     target = resolve_target(payload["target"])
@@ -105,16 +87,13 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     started = time.perf_counter()
     value = target(**kwargs)
     elapsed = time.perf_counter() - started
-
-    registry = MetricsRegistry("sweep-worker")
-    labels = {"target": payload["target"]}
-    registry.gauge("sweep.worker.runs", **labels).adjust(1)
-    registry.gauge("sweep.worker.busy_s", **labels).adjust(elapsed)
     return {
         "key": payload["key"],
         "value": value,
         "elapsed_s": elapsed,
-        "metrics": registry.snapshot(),
+        "metrics": worker_run_snapshot(
+            "sweep", elapsed, target=payload["target"]
+        ),
     }
 
 
@@ -173,8 +152,8 @@ class SweepEngine:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(
                     max_workers=workers,
-                    initializer=_worker_init,
-                    initargs=(accel.ops.NAME,),
+                    initializer=pool_worker_init,
+                    initargs=pool_initargs(),
                 ) as pool:
                     raw = list(pool.map(execute_payload, payloads))
             else:

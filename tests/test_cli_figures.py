@@ -76,12 +76,14 @@ class TestCliHelp:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for command in ("list", "all", "demo", "trace", "figures", "sweep"):
+        for command in ("list", "all", "demo", "trace", "figures", "sweep",
+                        "cluster"):
             assert command in out, command
         for figure in FIGURES:
             assert figure in out, figure
 
-    @pytest.mark.parametrize("command", ["trace", "figures", "sweep"])
+    @pytest.mark.parametrize("command", ["trace", "figures", "sweep",
+                                         "cluster"])
     def test_subcommand_help(self, command, capsys):
         from repro.__main__ import main
 

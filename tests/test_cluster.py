@@ -211,3 +211,104 @@ class TestFig1Experiment:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             replay_trace(FixedDatacentre(4), [])
+
+
+class TestDownsampleTrace:
+    """Deterministic task-level thinning (the replay --sample knob)."""
+
+    def trace(self, tasks=400, seed=5):
+        return synthesize_trace(TraceConfig(tasks=tasks, seed=seed))
+
+    def test_fraction_one_is_identity(self):
+        from repro.cluster import downsample_trace
+
+        events = self.trace()
+        assert downsample_trace(events, 1.0) == events
+
+    def test_fraction_bounds_enforced(self):
+        from repro.cluster import downsample_trace
+
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                downsample_trace(self.trace(tasks=10), bad)
+
+    def test_deterministic_under_fixed_seed(self):
+        from repro.cluster import downsample_trace
+
+        events = self.trace()
+        first = downsample_trace(events, 0.4, seed=9)
+        second = downsample_trace(events, 0.4, seed=9)
+        assert first == second
+        other_seed = downsample_trace(events, 0.4, seed=10)
+        assert {e.task.task_id for e in other_seed} != \
+            {e.task.task_id for e in first}
+
+    def test_keeps_submit_finish_pairs(self):
+        from collections import Counter
+
+        from repro.cluster import downsample_trace
+
+        sampled = downsample_trace(self.trace(), 0.3, seed=2)
+        per_task = Counter(e.task.task_id for e in sampled)
+        assert per_task and set(per_task.values()) == {2}
+
+    def test_larger_fraction_is_superset(self):
+        """Nested subsets: sweeping --sample only adds tasks."""
+        from repro.cluster import downsample_trace
+
+        events = self.trace()
+        small = {e.task.task_id
+                 for e in downsample_trace(events, 0.2, seed=3)}
+        large = {e.task.task_id
+                 for e in downsample_trace(events, 0.6, seed=3)}
+        assert small <= large
+        assert len(small) < len(large) < 400
+
+    def test_kept_fraction_tracks_request(self):
+        from repro.cluster import downsample_trace
+
+        events = self.trace(tasks=2000)
+        kept = downsample_trace(events, 0.5, seed=1)
+        assert 0.4 < len(kept) / len(events) < 0.6
+
+
+class TestTraceWindow:
+    def test_half_open_interval(self):
+        from repro.cluster import trace_window
+
+        events = synthesize_trace(TraceConfig(tasks=50, seed=3))
+        lo, hi = events[10].time, events[30].time
+        window = trace_window(events, lo, hi)
+        assert window and all(lo <= e.time < hi for e in window)
+        assert events[10] in window and events[30] not in window
+
+    def test_empty_windows_return_empty(self):
+        from repro.cluster import trace_window
+
+        events = synthesize_trace(TraceConfig(tasks=20, seed=3))
+        assert trace_window(events, 5.0, 5.0) == []      # zero width
+        assert trace_window(events, 9.0, 2.0) == []      # inverted
+        assert trace_window([], 0.0, 100.0) == []        # no events
+        horizon = events[-1].time
+        assert trace_window(events, horizon + 1, horizon + 2) == []
+
+
+class TestCapacityClamping:
+    """Requests are machine-normalized: draws above 1.0 clamp to 1.0
+    and stay valid, they do not escape the unit interval."""
+
+    def test_extreme_draws_clamp_to_unit_capacity(self):
+        config = TraceConfig(tasks=300, seed=13,
+                             cpu_log_mean=1.5, cpu_log_sigma=1.0,
+                             ratio_log_mean=1.5, ratio_log_sigma=1.0)
+        events = synthesize_trace(config)
+        cpus = [e.task.cpu for e in events]
+        mems = [e.task.memory for e in events]
+        assert max(cpus) == 1.0 and max(mems) == 1.0
+        assert all(0 < v <= 1.0 for v in cpus + mems)
+
+    def test_clamped_memory_never_exceeds_cpu_times_ratio(self):
+        config = TraceConfig(tasks=100, seed=13,
+                             ratio_log_mean=3.0, ratio_log_sigma=0.5)
+        for event in synthesize_trace(config):
+            assert event.task.memory <= 1.0

@@ -209,3 +209,84 @@ class TestControlPlaneWiring:
         attachment = testbed.attach("node0", 2 * MIB, memory_host="node1")
         testbed.detach(attachment)
         assert active_event_log() is None
+
+
+class TestCaptureInto:
+    def test_redirects_and_restores_switch_state(self):
+        from repro.obs import capture_into
+
+        mine = EventLog()
+        assert events_mod.ENABLED is False
+        with capture_into(mine) as log:
+            assert log is mine
+            assert events_mod.ENABLED is True
+            events_mod.emit(1.0, "inner.tick", n=1)
+        assert events_mod.ENABLED is False
+        assert active_event_log() is None
+        assert [e.kind for e in mine] == ["inner.tick"]
+
+    def test_nested_journals_do_not_interleave(self):
+        from repro.obs import capture_into
+
+        outer, inner = EventLog(), EventLog()
+        with capture_into(outer):
+            events_mod.emit(0.0, "outer.a")
+            with capture_into(inner):
+                events_mod.emit(1.0, "inner.b")
+            events_mod.emit(2.0, "outer.c")
+        assert [e.kind for e in outer] == ["outer.a", "outer.c"]
+        assert [e.kind for e in inner] == ["inner.b"]
+
+
+class TestMergeEventStreams:
+    """Deterministic multi-domain journal merge: stable
+    ``(t, domain, domain_seq)`` order, regression for the sharded
+    rack-domain coordinator."""
+
+    @staticmethod
+    def stream(*records):
+        return [
+            {"seq": seq, "t": t, "kind": kind}
+            for seq, (t, kind) in enumerate(records)
+        ]
+
+    def test_ties_break_by_domain_then_domain_seq(self):
+        from repro.obs import merge_event_streams
+
+        merged = merge_event_streams({
+            "rack1": self.stream((0.0, "b0"), (0.0, "b1")),
+            "rack0": self.stream((0.0, "a0"), (5.0, "a1")),
+        })
+        assert [r["kind"] for r in merged] == ["a0", "b0", "b1", "a1"]
+        assert [r["seq"] for r in merged] == [0, 1, 2, 3]
+        assert [r["domain_seq"] for r in merged] == [0, 0, 1, 1]
+
+    def test_merge_is_independent_of_dict_insertion_order(self):
+        from repro.obs import merge_event_streams
+
+        streams_a = {
+            "rack0": self.stream((1.0, "x")),
+            "rack1": self.stream((1.0, "y")),
+        }
+        streams_b = dict(reversed(list(streams_a.items())))
+        assert merge_event_streams(streams_a) == \
+            merge_event_streams(streams_b)
+
+    def test_merged_journal_passes_validator(self):
+        import json
+
+        from repro.obs import merge_event_streams
+
+        merged = merge_event_streams({
+            "rack0": self.stream((0.0, "a"), (2.0, "b")),
+            "rack1": self.stream((1.0, "c")),
+            "rack2": [],
+        })
+        text = "\n".join(json.dumps(r, sort_keys=True) for r in merged)
+        assert validate_event_jsonl(text + "\n") == 3
+
+    def test_empty_input(self):
+        from repro.obs import merge_event_streams
+
+        assert merge_event_streams({}) == []
+        assert merge_event_streams({"rack0": []}) == []

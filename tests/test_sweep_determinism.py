@@ -214,3 +214,57 @@ class TestEngineBasics:
         engine.run([spec])
         assert engine.executed == 2
         assert engine.cache_hits == 0
+
+
+class TestSharedBootstrap:
+    """One worker-bootstrap helper serves both pools (sweep + domains)."""
+
+    def test_resolve_jobs_explicit_wins_over_env(self, monkeypatch):
+        from repro.sweep import resolve_jobs
+
+        monkeypatch.setenv("SWEEP_JOBS", "7")
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("2") == 2
+
+    def test_resolve_jobs_falls_back_to_env_then_one(self, monkeypatch):
+        from repro.sweep import resolve_jobs
+
+        monkeypatch.setenv("SWEEP_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        monkeypatch.delenv("SWEEP_JOBS")
+        assert resolve_jobs(None) == 1
+
+    def test_resolve_jobs_auto_uses_cpu_count(self, monkeypatch):
+        from repro.sweep import resolve_jobs
+
+        monkeypatch.setenv("SWEEP_JOBS", "auto")
+        assert resolve_jobs(None) >= 1
+
+    def test_engine_reexports_normalize_jobs(self):
+        from repro.sweep import bootstrap, engine
+
+        assert engine.normalize_jobs is bootstrap.normalize_jobs
+
+    def test_pool_initargs_pin_current_backend(self):
+        from repro import accel
+        from repro.sweep.bootstrap import pool_initargs
+
+        assert pool_initargs() == (accel.ops.NAME,)
+
+    def test_derive_seed_is_stable_and_sensitive(self):
+        from repro.sweep.bootstrap import derive_seed
+
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a", 1) != derive_seed(8, "a", 1)
+        assert 0 <= derive_seed(7, "x") < 2 ** 63
+
+    def test_worker_run_snapshot_shape(self):
+        from repro.sweep.bootstrap import worker_run_snapshot
+
+        snap = worker_run_snapshot("sweep", 0.25, target="t")
+        runs = [v for k, v in snap.items()
+                if k.startswith("sweep.worker.runs")]
+        busy = [v for k, v in snap.items()
+                if k.startswith("sweep.worker.busy_s")]
+        assert runs == [1.0] and busy == [0.25]
