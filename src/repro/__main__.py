@@ -15,6 +15,8 @@ Usage::
     python -m repro chaos link-kill-failover --seed 7 --out chaos-artifacts
     python -m repro dse --smoke          # fault-campaign DSE + SLO ranking
     python -m repro backends             # which accel backend is active
+    python -m repro serve --port 8080    # control plane over HTTP (asyncio)
+    python -m repro loadtest --smoke     # throughput-vs-p99 curves + shed counts
 """
 
 from __future__ import annotations
@@ -1165,6 +1167,124 @@ def _run_cluster(argv) -> int:
     return 0
 
 
+# -- control-plane server + load test --------------------------------------------
+
+
+def _run_serve(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Boot the prototype testbed and serve its control plane "
+            "over HTTP (asyncio, stdlib-only). Prints the issued "
+            "credentials; Ctrl-C drains gracefully."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=256,
+                        help="bounded admission-queue depth")
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from .control.api import RestApi
+    from .control.qos import QosClass
+    from .control.server import ControlServer, ServerConfig
+    from .obs import MetricsRegistry, enable_events
+    from .testbed import Testbed
+
+    async def serve() -> None:
+        testbed = Testbed()
+        enable_events(4096)
+        registry = MetricsRegistry()
+        api = RestApi(testbed.plane, registry=registry)
+        demo_tenant = testbed.plane.register_tenant(
+            "demo", qos=QosClass.BURSTABLE,
+            max_attachments=16, max_bytes=64 << 20,
+        )
+        server = ControlServer(
+            api,
+            ServerConfig(host=args.host, port=args.port,
+                         workers=args.workers,
+                         max_queue_depth=args.queue_depth),
+            registry=registry,
+        )
+        await server.start()
+        print(f"listening    : http://{args.host}:{server.port}")
+        print(f"admin token  : {testbed.admin_token}")
+        print(f"demo tenant  : {demo_tenant} (burstable)")
+        print(f"catalogue    : GET /v1   (unauthenticated)")
+        print(f"scrape       : GET /v1/metrics")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining ...")
+            await server.drain()
+            print(f"served {server.requests_served} requests, "
+                  f"shed {server.queue.shed_count}")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_loadtest(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadtest",
+        description=(
+            "Open-loop load test of the control-plane HTTP server: "
+            "stages of rising request rate against three tenants "
+            "(guaranteed/burstable/best-effort), reporting throughput, "
+            "latency percentiles, the validation-latency CDF, shed "
+            "counts and peak RSS to BENCH_control.json."
+        ),
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI preset (seconds, still sheds)")
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--out", default="BENCH_control.json")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    from .control.loadgen import run_control_benchmark
+
+    report = run_control_benchmark(
+        smoke=args.smoke, queue_depth=args.queue_depth
+    )
+    report["preset"] = "smoke" if args.smoke else "full"
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(f"preset  : {report['preset']}  "
+          f"(queue depth {args.queue_depth})")
+    print("stage      offered      ok  tput_rps   p50_ms   p95_ms   p99_ms")
+    for stage in report["stages"]:
+        lat = stage["latency_ms"]
+        print(f"{stage['rate_rps']:>7.0f}/s  {stage['offered']:>7} "
+              f"{stage['ok']:>7}  {stage['throughput_rps']:>8.1f} "
+              f"{lat['p50']:>8.1f} {lat['p95']:>8.1f} {lat['p99']:>8.1f}")
+    totals = report["totals"]
+    validation = report["validation"]
+    print(f"shed    : {totals['quota_429']} x 429 (quota), "
+          f"{totals['shed_503']} x 503 (overload/headroom)")
+    print(f"validate: n={validation['count']} "
+          f"p50={validation['latency_ms']['p50']:.1f}ms "
+          f"p99={validation['latency_ms']['p99']:.1f}ms")
+    print(f"peak rss: {report['peak_rss_kib'] / 1024:.1f} MiB")
+    print(f"report  : {args.out}")
+    return 0
+
+
 # -- entry point -----------------------------------------------------------------
 
 #: Subcommands with their own argv (dispatched before the main parser).
@@ -1177,6 +1297,8 @@ _SUBCOMMANDS = {
     "cluster": _run_cluster,
     "dse": _run_dse,
     "backends": _run_backends,
+    "serve": _run_serve,
+    "loadtest": _run_loadtest,
 }
 
 
@@ -1234,6 +1356,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "backends",
         help="report the accel backend in use (REPRO_BACKEND, --json)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "serve",
+        help="serve the control plane over HTTP (--port, --workers)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "loadtest",
+        help="throughput-vs-latency load test of the control-plane "
+             "server (--smoke, --out BENCH_control.json)",
         add_help=False,
     )
     return parser

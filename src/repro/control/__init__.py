@@ -1,6 +1,12 @@
-"""Software-defined control plane: state graph, planning, security, REST."""
+"""Software-defined control plane: state graph, planning, security, REST.
 
-from .api import RestApi
+``repro.control.server`` (the asyncio HTTP binding) and
+``repro.control.loadgen`` (the open-loop load generator) are imported
+lazily by their users rather than re-exported here — they pull in
+asyncio plumbing that the in-process surface doesn't need.
+"""
+
+from .api import RestApi, RouteSpec, route_catalogue
 from .graph import GraphError, NodeKind, StateGraph
 from .health import FailoverReport, HealthMonitor, HealthState
 from .orchestrator import (
@@ -10,6 +16,16 @@ from .orchestrator import (
     UnknownAttachmentError,
 )
 from .planner import NoPathError, PathPlanner, PlannedPath
+from .qos import (
+    AdmissionQueue,
+    DrainingError,
+    NoHeadroomError,
+    OverloadedError,
+    QosClass,
+    QuotaExceededError,
+    QuotaLedger,
+    TenantSpec,
+)
 from .security import (
     AccessControl,
     AuthError,
@@ -39,6 +55,16 @@ __all__ = [
     "AuthError",
     "PlaneTrust",
     "RestApi",
+    "RouteSpec",
+    "route_catalogue",
+    "QosClass",
+    "TenantSpec",
+    "QuotaLedger",
+    "AdmissionQueue",
+    "QuotaExceededError",
+    "NoHeadroomError",
+    "OverloadedError",
+    "DrainingError",
     "SwitchDriver",
     "extract_switch_hops",
 ]

@@ -4,7 +4,16 @@
 via a REST API." This module shapes the orchestrator as an HTTP-ish
 request handler (method, path, body, bearer token) → (status, body)
 without binding a socket, so tests and examples drive the exact same
-surface an administrator or a cloud-orchestration plugin would.
+surface an administrator or a cloud-orchestration plugin would. The
+real socket binding is :mod:`repro.control.server`, which fronts this
+dispatch with an asyncio HTTP server, admission control and QoS-aware
+queueing.
+
+Dispatch is **table-driven**: every route lives in :data:`ROUTES` — a
+:class:`RouteSpec` with its method, path template, query parameters
+and OpenAPI-lite request/response schemas — and ``GET /v1`` serves the
+table back as a machine-readable catalogue. The catalogue cannot drift
+from ``handle()`` because both read the same table.
 
 Error contract: every error body is the versioned shape
 ``{"error": <human text>, "code": <machine-readable slug>}``. Domain
@@ -16,7 +25,9 @@ exceptions all derive from :class:`~repro.errors.ReproError`; their
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl
 
 from ..errors import ReproError, http_status_for
 from ..obs import events as _events
@@ -24,37 +35,183 @@ from ..obs.promtext import CONTENT_TYPE, render_prometheus
 from .orchestrator import ControlPlane
 from .security import Permission
 
-__all__ = ["RestApi"]
-
-_ATTACHMENT_PATH = re.compile(r"^/v1/attachments/(\d+)$")
+__all__ = ["RestApi", "RouteSpec", "ROUTES", "route_catalogue"]
 
 #: ``fault_hook(campaign, attachment_id, params) -> description dict``;
 #: installed by the resilience layer to arm chaos campaigns via POST
 #: /v1/faults (the plane itself knows nothing about injectors).
 FaultHook = Callable[[str, int, Dict], Dict]
 
+#: Cap on ``?limit=`` for /v1/events (and the default page size when a
+#: cursor is given): large journals stream in pages, never whole.
+EVENTS_MAX_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """One route: dispatch target + its catalogue entry.
+
+    ``template`` uses ``{name}`` placeholders for integer path
+    parameters. ``request``/``response`` are OpenAPI-lite field maps
+    (``"field": "type"`` with a trailing ``?`` marking optional);
+    ``raw`` marks routes whose 200 body is a raw text document wrapped
+    as ``{"content_type", "body"}`` (the HTTP server unwraps them).
+    """
+
+    method: str
+    template: str
+    handler: str
+    summary: str
+    query: Tuple[str, ...] = ()
+    request: Optional[Dict[str, str]] = None
+    response: Optional[Dict[str, str]] = None
+    raw: bool = False
+
+    @property
+    def pattern(self) -> "re.Pattern":
+        return _compile_template(self.template)
+
+    def describe(self) -> Dict:
+        entry: Dict = {
+            "method": self.method,
+            "path": self.template,
+            "summary": self.summary,
+        }
+        if self.query:
+            entry["query"] = list(self.query)
+        if self.request is not None:
+            entry["request"] = dict(self.request)
+        if self.response is not None:
+            entry["response"] = dict(self.response)
+        if self.raw:
+            entry["raw"] = True
+        return entry
+
+
+def _compile_template(template: str) -> "re.Pattern":
+    pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>\\d+)", template)
+    return re.compile(f"^{pattern}$")
+
+
+_ERROR_SCHEMA = {"error": "str", "code": "str", "details": "object?"}
+
+_ATTACHMENT_SCHEMA = {
+    "id": "int",
+    "compute_host": "str",
+    "memory_host": "str",
+    "size": "int",
+    "network_id": "int",
+    "bonded": "bool",
+    "channels": "list[int]",
+    "numa_node": "int",
+    "sections": "list[int]",
+    "tenant": "str?",
+    "qos": "str?",
+}
+
+#: The one route table: ``handle()`` dispatches from it and ``GET /v1``
+#: renders it. Sorted by (path, method) for a stable catalogue.
+ROUTES: Tuple[RouteSpec, ...] = (
+    RouteSpec(
+        "GET", "/v1", "_catalogue",
+        "machine-readable route catalogue (this document)",
+        response={"version": "str", "routes": "list[object]"},
+    ),
+    RouteSpec(
+        "GET", "/v1/state", "_state",
+        "full control-plane state-graph snapshot",
+        response={"state": "object"},
+    ),
+    RouteSpec(
+        "GET", "/v1/health", "_health",
+        "health-monitor summary (unmonitored planes answer statically)",
+        response={"status": "str", "attachments": "list[object]"},
+    ),
+    RouteSpec(
+        "GET", "/v1/metrics", "_metrics",
+        "Prometheus text exposition of the wired metrics registry",
+        response={"content_type": "str", "body": "str"},
+        raw=True,
+    ),
+    RouteSpec(
+        "GET", "/v1/events", "_events",
+        "structured event journal, paginated by sequence cursor",
+        query=("since_seq", "limit"),
+        response={
+            "total": "int",
+            "evicted": "int",
+            "count": "int",
+            "next_seq": "int",
+            "events": "list[object]",
+        },
+    ),
+    RouteSpec(
+        "GET", "/v1/tenants", "_tenants",
+        "per-tenant QoS class, quota ceilings and live usage",
+        response={"tenants": "list[object]"},
+    ),
+    RouteSpec(
+        "GET", "/v1/attachments", "_list_attachments",
+        "all live attachments",
+        response={"attachments": "list[object]"},
+    ),
+    RouteSpec(
+        "POST", "/v1/attachments", "_create",
+        "attach disaggregated memory (the §IV-C workflow)",
+        request={
+            "compute_host": "str",
+            "size": "int",
+            "memory_host": "str?",
+            "bonded": "bool?",
+        },
+        response=_ATTACHMENT_SCHEMA,
+    ),
+    RouteSpec(
+        "GET", "/v1/attachments/{id}", "_get_attachment",
+        "one attachment's description",
+        response=_ATTACHMENT_SCHEMA,
+    ),
+    RouteSpec(
+        "DELETE", "/v1/attachments/{id}", "_delete_attachment",
+        "detach (force=true tolerates a dead donor)",
+        request={"force": "bool?"},
+        response={},
+    ),
+    RouteSpec(
+        "GET", "/v1/faults", "_fault_catalogue",
+        "fault-campaign catalogue with parameter schemas",
+        response={"campaigns": "list[object]"},
+    ),
+    RouteSpec(
+        "POST", "/v1/faults", "_inject_fault",
+        "arm one chaos campaign against an attachment",
+        request={"campaign": "str", "attachment": "int", "...": "params"},
+        response={"injected": "str", "...": "campaign-specific"},
+    ),
+)
+
+
+def route_catalogue() -> Dict:
+    """The ``GET /v1`` body: version + every route's catalogue entry."""
+    return {
+        "version": "v1",
+        "error_schema": dict(_ERROR_SCHEMA),
+        "routes": [
+            spec.describe()
+            for spec in sorted(ROUTES, key=lambda s: (s.template, s.method))
+        ],
+    }
+
 
 class RestApi:
     """In-process REST facade over :class:`ControlPlane`.
 
-    Routes::
-
-        GET    /v1/state
-        GET    /v1/health         (health monitor summary, if wired)
-        GET    /v1/metrics        (Prometheus text exposition, if wired)
-        GET    /v1/events         (structured event journal, if enabled)
-        GET    /v1/attachments
-        POST   /v1/attachments    {"compute_host", "size",
-                                   ["memory_host"], ["bonded"]}
-        GET    /v1/attachments/<id>
-        DELETE /v1/attachments/<id>   [?force]
-        GET    /v1/faults         (campaign catalogue with param schemas)
-        POST   /v1/faults         {"campaign", "attachment", ...params}
-
-    ``monitor`` (a :class:`~repro.control.health.HealthMonitor`) backs
-    ``/v1/health``; ``fault_hook`` backs ``/v1/faults``; ``registry``
-    (a :class:`~repro.obs.MetricsRegistry`) backs ``/v1/metrics``. All
-    are optional — unwired routes answer with a structured 503.
+    Routes are defined in :data:`ROUTES`; ``GET /v1`` serves the
+    catalogue. ``monitor`` (a
+    :class:`~repro.control.health.HealthMonitor`) backs ``/v1/health``;
+    ``fault_hook`` backs ``POST /v1/faults``; ``registry`` (a
+    :class:`~repro.obs.MetricsRegistry`) backs ``/v1/metrics``. All are
+    optional — unwired routes answer with a structured 503.
 
     ``GET /v1/metrics`` is the scrape endpoint: the body carries
     ``content_type`` (the exposition content type a socket binding
@@ -72,6 +229,8 @@ class RestApi:
         self.monitor = monitor
         self.fault_hook = fault_hook
         self.registry = registry
+        # Compiled once per instance: (spec, pattern) in table order.
+        self._routes = [(spec, spec.pattern) for spec in ROUTES]
 
     def handle(
         self,
@@ -80,7 +239,11 @@ class RestApi:
         body: Optional[Dict] = None,
         token: Optional[str] = None,
     ) -> Tuple[int, Dict]:
-        """Dispatch one request; returns (status code, response body)."""
+        """Dispatch one request; returns (status code, response body).
+
+        ``path`` may carry a query string (``/v1/events?since_seq=8``);
+        it is split off and handed to the route as a parameter dict.
+        """
         try:
             return self._route(method.upper(), path, body or {}, token)
         except ReproError as exc:
@@ -95,64 +258,96 @@ class RestApi:
     def _route(
         self, method: str, path: str, body: Dict, token: Optional[str]
     ) -> Tuple[int, Dict]:
-        if path == "/v1/state" and method == "GET":
-            return 200, {"state": self.plane.system_state(token=token)}
-
-        if path == "/v1/health" and method == "GET":
-            return self._health(token)
-
-        if path == "/v1/metrics" and method == "GET":
-            return self._metrics(token)
-
-        if path == "/v1/events" and method == "GET":
-            return self._events(token)
-
-        if path == "/v1/faults":
-            if method == "GET":
-                return self._fault_catalogue(token)
-            if method == "POST":
-                return self._inject_fault(body, token)
-            return self._method_not_allowed(method, path)
-
-        if path == "/v1/attachments":
-            if method == "GET":
-                return 200, {
-                    "attachments": [
-                        a.describe() for a in self.plane.attachments(token=token)
-                    ]
-                }
-            if method == "POST":
-                return self._create(body, token)
-            return self._method_not_allowed(method, path)
-
-        match = _ATTACHMENT_PATH.match(path)
-        if match:
-            attachment_id = int(match.group(1))
-            if method == "GET":
-                attachment = self.plane.attachment(attachment_id, token=token)
-                return 200, attachment.describe()
-            if method == "DELETE":
-                self.plane.detach(
-                    attachment_id,
-                    token=token,
-                    force=bool(body.get("force", False)),
-                )
-                return 204, {}
-            return self._method_not_allowed(method, path)
-
+        path, _, query_string = path.partition("?")
+        query = dict(parse_qsl(query_string, keep_blank_values=True))
+        allowed: List[str] = []
+        for spec, pattern in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if spec.method != method:
+                allowed.append(spec.method)
+                continue
+            params = {k: int(v) for k, v in match.groupdict().items()}
+            handler = getattr(self, spec.handler)
+            return handler(params, query, body, token)
+        if allowed:
+            return 405, {
+                "error": f"{method} not allowed on {path} "
+                         f"(allowed: {', '.join(sorted(set(allowed)))})",
+                "code": "request/method-not-allowed",
+            }
         return 404, {
             "error": f"no route for {method} {path}",
             "code": "request/no-route",
         }
 
+    def route_for(self, method: str, path: str) -> Optional[RouteSpec]:
+        """The :class:`RouteSpec` that would serve ``method path``.
+
+        Socket bindings use this to learn response framing (e.g. the
+        ``raw`` flag on the metrics exposition) without re-dispatching.
+        Returns ``None`` for unmatched targets.
+        """
+        path = path.partition("?")[0]
+        method = method.upper()
+        for spec, pattern in self._routes:
+            if spec.method == method and pattern.match(path):
+                return spec
+        return None
+
     @staticmethod
-    def _method_not_allowed(method: str, path: str) -> Tuple[int, Dict]:
-        return 405, {
-            "error": f"{method} not allowed on {path}",
-            "code": "request/method-not-allowed",
+    def _query_int(
+        query: Dict[str, str], key: str, default: Optional[int]
+    ) -> Optional[int]:
+        raw = query.get(key)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"query parameter {key}={raw!r} is not an integer",
+                code="request/invalid",
+            ) from None
+        if value < 0:
+            raise ReproError(
+                f"query parameter {key} must be >= 0, got {value}",
+                code="request/invalid",
+            )
+        return value
+
+    # -- discovery -----------------------------------------------------------------
+    def _catalogue(self, params, query, body, token) -> Tuple[int, Dict]:
+        # Unauthenticated on purpose: the catalogue is the API's shape,
+        # not its state — the one discovery document a client needs
+        # before it holds a credential.
+        return 200, route_catalogue()
+
+    # -- state + attachments ---------------------------------------------------------
+    def _state(self, params, query, body, token) -> Tuple[int, Dict]:
+        return 200, {"state": self.plane.system_state(token=token)}
+
+    def _list_attachments(self, params, query, body, token) -> Tuple[int, Dict]:
+        return 200, {
+            "attachments": [
+                a.describe() for a in self.plane.attachments(token=token)
+            ]
         }
 
-    def _create(self, body: Dict, token: Optional[str]) -> Tuple[int, Dict]:
+    def _get_attachment(self, params, query, body, token) -> Tuple[int, Dict]:
+        attachment = self.plane.attachment(params["id"], token=token)
+        return 200, attachment.describe()
+
+    def _delete_attachment(self, params, query, body, token) -> Tuple[int, Dict]:
+        self.plane.detach(
+            params["id"],
+            token=token,
+            force=bool(body.get("force", False)),
+        )
+        return 204, {}
+
+    def _create(self, params, query, body, token) -> Tuple[int, Dict]:
         try:
             compute_host = body["compute_host"]
             size = int(body["size"])
@@ -175,15 +370,19 @@ class RestApi:
         )
         return 201, attachment.describe()
 
+    # -- tenancy --------------------------------------------------------------------
+    def _tenants(self, params, query, body, token) -> Tuple[int, Dict]:
+        return 200, {"tenants": self.plane.tenant_usage(token=token)}
+
     # -- resilience surface ---------------------------------------------------------
-    def _health(self, token: Optional[str]) -> Tuple[int, Dict]:
+    def _health(self, params, query, body, token) -> Tuple[int, Dict]:
         self.plane.acl.require(token, Permission.READ_STATE)
         if self.monitor is None:
             return 200, {"status": "unmonitored", "attachments": []}
         return 200, self.monitor.describe()
 
     # -- telemetry surface ----------------------------------------------------------
-    def _metrics(self, token: Optional[str]) -> Tuple[int, Dict]:
+    def _metrics(self, params, query, body, token) -> Tuple[int, Dict]:
         self.plane.acl.require(token, Permission.READ_STATE)
         if self.registry is None:
             return 503, {
@@ -195,7 +394,7 @@ class RestApi:
             "body": render_prometheus(self.registry),
         }
 
-    def _events(self, token: Optional[str]) -> Tuple[int, Dict]:
+    def _events(self, params, query, body, token) -> Tuple[int, Dict]:
         self.plane.acl.require(token, Permission.READ_STATE)
         log = _events.active_event_log()
         if log is None:
@@ -203,13 +402,35 @@ class RestApi:
                 "error": "event logging is not enabled",
                 "code": "obs/no-event-log",
             }
+        since = self._query_int(query, "since_seq", None)
+        limit = self._query_int(query, "limit", None)
+        if limit is None:
+            # Unpaginated calls keep their historical whole-journal
+            # behaviour; a cursor without a limit gets the default page.
+            limit = EVENTS_MAX_LIMIT if since is not None else len(log)
+        limit = min(limit, EVENTS_MAX_LIMIT) if limit else limit
+        events = []
+        for event in log:
+            if since is not None and event.seq < since:
+                continue
+            if len(events) >= limit:
+                break
+            events.append(event.as_dict())
+        if events:
+            next_seq = events[-1]["seq"] + 1
+        else:
+            # Nothing (yet) past the cursor: resume from the same spot.
+            next_seq = since if since is not None else log.total
         return 200, {
             "total": log.total,
             "evicted": log.evicted,
-            "events": log.to_dicts(),
+            "since_seq": since,
+            "count": len(events),
+            "next_seq": next_seq,
+            "events": events,
         }
 
-    def _fault_catalogue(self, token: Optional[str]) -> Tuple[int, Dict]:
+    def _fault_catalogue(self, params, query, body, token) -> Tuple[int, Dict]:
         """Discoverable campaign catalogue with parameter schemas."""
         self.plane.acl.require(token, Permission.READ_STATE)
         # Local import: the resilience layer sits above the control
@@ -218,9 +439,7 @@ class RestApi:
 
         return 200, {"campaigns": campaign_catalogue()}
 
-    def _inject_fault(
-        self, body: Dict, token: Optional[str]
-    ) -> Tuple[int, Dict]:
+    def _inject_fault(self, params, query, body, token) -> Tuple[int, Dict]:
         self.plane.acl.require(token, Permission.ATTACH)
         if self.fault_hook is None:
             return 503, {
@@ -235,10 +454,10 @@ class RestApi:
                 "error": f"missing field {exc}",
                 "code": "request/invalid",
             }
-        params = {
+        extra = {
             key: value
             for key, value in body.items()
             if key not in ("campaign", "attachment")
         }
-        description = self.fault_hook(campaign, attachment_id, params)
+        description = self.fault_hook(campaign, attachment_id, extra)
         return 202, {"injected": campaign, **description}

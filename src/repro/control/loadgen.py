@@ -1,0 +1,390 @@
+"""Open-loop load generation against the control-plane HTTP server.
+
+The throughput-vs-latency story for ROADMAP item 4: drive
+:class:`~repro.control.server.ControlServer` with stages of rising
+request rate and measure what a multi-tenant control plane does at and
+past saturation — does p99 stay bounded because admission control
+sheds, or does the queue grow without bound and take every tenant's
+latency with it?
+
+The generator is **open-loop**: arrivals follow a seeded exponential
+(Poisson) process at the stage's rate and are *not* gated on earlier
+responses finishing. Latency is measured from the *scheduled* arrival
+time, so a stalled server shows up as growing latency instead of
+quietly lowering the offered rate (the coordinated-omission trap that
+makes closed-loop generators flatter overloaded servers).
+
+Two operation kinds, mixed per arrival:
+
+* ``read`` — ``GET /v1/state``: the cheap observability path.
+* ``attach_cycle`` — ``POST /v1/attachments``, hold, a timed
+  ``GET /v1/attachments/{id}`` (the *validation read* — "did the plane
+  commit what it told me?"), ``DELETE``. Validation latencies feed the
+  run-wide CDF.
+
+Everything is stdlib; the report is a plain dict that
+``python -m repro loadtest`` serialises to ``BENCH_control.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import resource
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .server import http_request
+
+__all__ = [
+    "LoadStage",
+    "LoadgenConfig",
+    "TenantTraffic",
+    "run_loadgen",
+    "run_control_benchmark",
+    "smoke_config",
+    "full_config",
+    "percentile",
+    "cdf_points",
+]
+
+
+@dataclass(frozen=True)
+class LoadStage:
+    """One constant-rate segment of the schedule."""
+
+    rate_rps: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class TenantTraffic:
+    """One traffic source: a credential plus its share of arrivals."""
+
+    name: str
+    token: str
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    stages: Tuple[LoadStage, ...]
+    seed: int = 20
+    #: Fraction of arrivals that run the attach→validate→detach cycle
+    #: (the rest are state reads).
+    attach_fraction: float = 0.2
+    attach_size: int = 1 << 20
+    compute_host: str = "node0"
+    #: Seconds an attach is held before validation + detach — this is
+    #: what builds *concurrent* live attachments and exercises quotas.
+    hold_s: float = 0.05
+    request_timeout_s: float = 30.0
+
+
+class _StageStats:
+    def __init__(self, stage: LoadStage):
+        self.stage = stage
+        self.offered = 0
+        self.completed = 0
+        self.ok = 0
+        self.by_status: Dict[str, int] = {}
+        self.by_code: Dict[str, int] = {}
+        self.latencies_s: List[float] = []
+        self.conn_errors = 0
+        self.wall_s = 0.0
+
+    def record(self, status: int, code: Optional[str], latency_s: float):
+        self.completed += 1
+        self.by_status[str(status)] = self.by_status.get(str(status), 0) + 1
+        if code:
+            self.by_code[code] = self.by_code.get(code, 0) + 1
+        if status < 400:
+            self.ok += 1
+        self.latencies_s.append(latency_s)
+
+    def describe(self) -> Dict:
+        lat = sorted(self.latencies_s)
+        return {
+            "rate_rps": self.stage.rate_rps,
+            "duration_s": self.stage.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "ok": self.ok,
+            "conn_errors": self.conn_errors,
+            "by_status": dict(sorted(self.by_status.items())),
+            "by_code": dict(sorted(self.by_code.items())),
+            "throughput_rps": (
+                self.ok / self.wall_s if self.wall_s > 0 else 0.0
+            ),
+            "latency_ms": {
+                "p50": percentile(lat, 50) * 1e3,
+                "p95": percentile(lat, 95) * 1e3,
+                "p99": percentile(lat, 99) * 1e3,
+                "max": (lat[-1] * 1e3) if lat else 0.0,
+            },
+        }
+
+
+def percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(pct / 100.0 * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+def cdf_points(latencies_s: Sequence[float], points: int = 50) -> List[List[float]]:
+    """``[latency_ms, cumulative_fraction]`` pairs for plotting."""
+    values = sorted(latencies_s)
+    if not values:
+        return []
+    out: List[List[float]] = []
+    for i in range(1, points + 1):
+        frac = i / points
+        idx = min(len(values) - 1, max(0, int(frac * len(values)) - 1))
+        out.append([values[idx] * 1e3, frac])
+    return out
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    tenants: Sequence[TenantTraffic],
+    config: LoadgenConfig,
+) -> Dict:
+    """Drive the server through every stage; return the report dict."""
+    rng = random.Random(config.seed)
+    weights = [t.weight for t in tenants]
+    validation_latencies: List[float] = []
+    stage_reports: List[Dict] = []
+
+    async def read_op(stats: _StageStats, token: str, scheduled: float):
+        try:
+            status, _headers, body = await http_request(
+                host, port, "GET", "/v1/state",
+                token=token, timeout_s=config.request_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            stats.conn_errors += 1
+            return
+        code = body.get("code") if isinstance(body, dict) else None
+        stats.record(status, code, perf_counter() - scheduled)
+
+    async def attach_cycle_op(stats: _StageStats, token: str, scheduled: float):
+        try:
+            status, _headers, body = await http_request(
+                host, port, "POST", "/v1/attachments",
+                body={
+                    "compute_host": config.compute_host,
+                    "size": config.attach_size,
+                },
+                token=token, timeout_s=config.request_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            stats.conn_errors += 1
+            return
+        code = body.get("code") if isinstance(body, dict) else None
+        stats.record(status, code, perf_counter() - scheduled)
+        if status != 201:
+            return  # shed / quota-denied: the cycle ends here
+        attachment_id = body["id"]
+        if config.hold_s > 0:
+            await asyncio.sleep(config.hold_s)
+        try:
+            started = perf_counter()
+            vstatus, _h, _b = await http_request(
+                host, port, "GET", f"/v1/attachments/{attachment_id}",
+                token=token, timeout_s=config.request_timeout_s,
+            )
+            if vstatus == 200:
+                validation_latencies.append(perf_counter() - started)
+            # The detach may itself be shed under overload; retry with
+            # backoff until admitted (the retry budget outlasts any
+            # stage, and overload ends when the stage does) so held
+            # capacity and the tenant's quota are always returned.
+            for attempt in range(60):
+                dstatus, _h, _b = await http_request(
+                    host, port, "DELETE",
+                    f"/v1/attachments/{attachment_id}",
+                    token=token, timeout_s=config.request_timeout_s,
+                )
+                if dstatus != 503:
+                    break
+                await asyncio.sleep(min(0.2, 0.05 * (attempt + 1)))
+        except (OSError, asyncio.TimeoutError):
+            stats.conn_errors += 1
+
+    for stage in config.stages:
+        stats = _StageStats(stage)
+        tasks: List[asyncio.Task] = []
+        loop = asyncio.get_running_loop()
+        stage_start = perf_counter()
+        elapsed = 0.0
+        while True:
+            elapsed += rng.expovariate(stage.rate_rps)
+            if elapsed >= stage.duration_s:
+                break
+            # Open loop: sleep until the scheduled arrival, then fire
+            # without waiting for the previous arrival's response.
+            delay = (stage_start + elapsed) - perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            scheduled = stage_start + elapsed
+            tenant = rng.choices(tenants, weights=weights)[0]
+            stats.offered += 1
+            if rng.random() < config.attach_fraction:
+                op = attach_cycle_op(stats, tenant.token, scheduled)
+            else:
+                op = read_op(stats, tenant.token, scheduled)
+            tasks.append(loop.create_task(op))
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        stats.wall_s = max(perf_counter() - stage_start, stage.duration_s)
+        stage_reports.append(stats.describe())
+
+    validation_sorted = sorted(validation_latencies)
+    totals = {
+        "offered": sum(s["offered"] for s in stage_reports),
+        "completed": sum(s["completed"] for s in stage_reports),
+        "ok": sum(s["ok"] for s in stage_reports),
+        "conn_errors": sum(s["conn_errors"] for s in stage_reports),
+        "quota_429": sum(
+            s["by_code"].get("control/quota-exceeded", 0)
+            for s in stage_reports
+        ),
+        "shed_503": sum(
+            s["by_code"].get("server/overloaded", 0)
+            + s["by_code"].get("control/no-headroom", 0)
+            for s in stage_reports
+        ),
+    }
+    return {
+        "config": {
+            "seed": config.seed,
+            "attach_fraction": config.attach_fraction,
+            "attach_size": config.attach_size,
+            "hold_s": config.hold_s,
+            "stages": [
+                {"rate_rps": s.rate_rps, "duration_s": s.duration_s}
+                for s in config.stages
+            ],
+            "tenants": [
+                {"name": t.name, "weight": t.weight} for t in tenants
+            ],
+        },
+        "stages": stage_reports,
+        "validation": {
+            "count": len(validation_sorted),
+            "latency_ms": {
+                "p50": percentile(validation_sorted, 50) * 1e3,
+                "p95": percentile(validation_sorted, 95) * 1e3,
+                "p99": percentile(validation_sorted, 99) * 1e3,
+            },
+            "cdf": cdf_points(validation_sorted),
+        },
+        "totals": totals,
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+# -- the standard three-tenant benchmark harness ------------------------------------------
+
+
+def smoke_config() -> LoadgenConfig:
+    """Short preset for CI: seconds of wall time, still reaches shed."""
+    return LoadgenConfig(
+        stages=(
+            LoadStage(rate_rps=40, duration_s=1.0),
+            LoadStage(rate_rps=150, duration_s=1.0),
+            LoadStage(rate_rps=1400, duration_s=1.5),
+        ),
+    )
+
+
+def full_config() -> LoadgenConfig:
+    """The real curve: five stages from idle to well past saturation."""
+    return LoadgenConfig(
+        stages=(
+            LoadStage(rate_rps=25, duration_s=3.0),
+            LoadStage(rate_rps=75, duration_s=3.0),
+            LoadStage(rate_rps=200, duration_s=3.0),
+            LoadStage(rate_rps=450, duration_s=3.0),
+            LoadStage(rate_rps=2000, duration_s=3.0),
+        ),
+    )
+
+
+async def _run_benchmark_async(config: LoadgenConfig, queue_depth: int) -> Dict:
+    # Imported lazily: repro.testbed imports repro.control, and this
+    # module must stay importable from repro.control without a cycle.
+    from ..obs.metrics import MetricsRegistry
+    from ..testbed.prototype import Testbed
+    from .api import RestApi
+    from .qos import QosClass
+    from .server import ControlServer, ServerConfig
+
+    testbed = Testbed()
+    testbed.plane.best_effort_reserve = 0.25
+    registry = MetricsRegistry()
+    api = RestApi(testbed.plane, registry=registry)
+    tenants = [
+        TenantTraffic(
+            name="gold", weight=0.2,
+            token=testbed.plane.register_tenant(
+                "gold", qos=QosClass.GUARANTEED,
+            ),
+        ),
+        TenantTraffic(
+            name="silver", weight=0.4,
+            token=testbed.plane.register_tenant(
+                "silver", qos=QosClass.BURSTABLE,
+                max_attachments=24, max_bytes=64 << 20,
+            ),
+        ),
+        TenantTraffic(
+            name="bronze", weight=0.4,
+            token=testbed.plane.register_tenant(
+                "bronze", qos=QosClass.BEST_EFFORT,
+                max_attachments=4, max_bytes=8 << 20,
+            ),
+        ),
+    ]
+    server = ControlServer(
+        api,
+        ServerConfig(workers=4, max_queue_depth=queue_depth),
+        registry=registry,
+    )
+    await server.start()
+    try:
+        report = await run_loadgen("127.0.0.1", server.port, tenants, config)
+    finally:
+        await server.drain()
+    report["server"] = {
+        "workers": server.config.workers,
+        "max_queue_depth": queue_depth,
+        "requests_served": server.requests_served,
+        "queue_pushed": server.queue.pushed,
+        "queue_shed": server.queue.shed_count,
+    }
+    report["tenant_usage"] = testbed.plane.quotas.describe()
+    return report
+
+
+def run_control_benchmark(
+    smoke: bool = False,
+    config: Optional[LoadgenConfig] = None,
+    queue_depth: int = 64,
+) -> Dict:
+    """Boot a testbed + server, run the standard load test, report.
+
+    Three tenants exercise the three QoS classes: ``gold``
+    (guaranteed, unmetered), ``silver`` (burstable, roomy quota) and
+    ``bronze`` (best-effort, tight quota + the planner's best-effort
+    reserve) — so a full run demonstrates *both* shed paths: bronze's
+    429s (quota) and everyone's 503s once the admission queue fills.
+    """
+    if config is None:
+        config = smoke_config() if smoke else full_config()
+    return asyncio.run(_run_benchmark_async(config, queue_depth))

@@ -25,6 +25,7 @@ from ..mem.numa import LOCAL_DISTANCE
 from ..osmodel.agent import AttachPlan, StealGrant, ThymesisFlowAgent
 from .graph import GraphError, StateGraph
 from .planner import NoPathError, PathPlanner, PlannedPath
+from .qos import NoHeadroomError, QosClass, QuotaLedger, TenantSpec
 from .security import AccessControl, AuthError, Permission, PlaneTrust, Role
 from .switching import SwitchDriver, extract_switch_hops
 
@@ -84,9 +85,13 @@ class Attachment:
     grant: StealGrant
     path: PlannedPath
     section_run: AddressRange  # run in section-index space
+    #: Owning tenant (multi-tenant planes only; admin attaches have none).
+    tenant: Optional[str] = None
+    #: The tenant's QoS class value at attach time.
+    qos: Optional[str] = None
 
     def describe(self) -> Dict:
-        return {
+        body = {
             "id": self.attachment_id,
             "compute_host": self.compute_host,
             "memory_host": self.memory_host,
@@ -97,6 +102,10 @@ class Attachment:
             "numa_node": self.plan.numa_node_id,
             "sections": self.plan.section_indices,
         }
+        if self.tenant is not None:
+            body["tenant"] = self.tenant
+            body["qos"] = self.qos
+        return body
 
 
 class ControlPlane:
@@ -117,6 +126,15 @@ class ControlPlane:
         self._switch_drivers: Dict[str, SwitchDriver] = {}
         self._attachments: Dict[int, Attachment] = {}
         self._next_attachment = 1
+        #: Multi-tenant surface: per-tenant quotas + QoS classes. A
+        #: plane with no registered tenants behaves exactly as before
+        #: (every credential is unmetered).
+        self.quotas = QuotaLedger()
+        self._tenant_tokens: Dict[str, str] = {}
+        #: Fraction of total donor capacity kept free for guaranteed
+        #: tenants; best-effort attaches that would dip below it are
+        #: denied with ``control/no-headroom`` (503). 0 disables.
+        self.best_effort_reserve = 0.0
         self.audit_log: List[str] = []
         #: Sim-time source for structured events. The plane itself has
         #: no simulator reference; testbeds wire this to ``sim.now`` so
@@ -184,6 +202,50 @@ class ControlPlane:
             self.state.switch_port(switch, port),
         )
 
+    # -- tenancy ------------------------------------------------------------------------
+    def register_tenant(
+        self,
+        name: str,
+        qos: "QosClass | str" = QosClass.BURSTABLE,
+        max_attachments: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        role: Role = Role.OPERATOR,
+        token: Optional[str] = None,
+    ) -> str:
+        """Register a tenant; returns its bearer token.
+
+        The token doubles as the tenant's credential (mapped to
+        ``role``) and its identity: attaches made with it are charged
+        against the tenant's quota and carry its QoS class. ``token``
+        pins a pre-agreed credential for deterministic setups.
+        """
+        spec = TenantSpec(
+            name=name,
+            qos=QosClass.parse(qos),
+            max_attachments=max_attachments,
+            max_bytes=max_bytes,
+        )
+        self.quotas.register(spec)
+        if token is None:
+            token = self.acl.issue_token(role)
+        else:
+            self.acl.register_token(token, role)
+        self._tenant_tokens[token] = name
+        self.audit_log.append(
+            f"register tenant {name} ({spec.qos.value})"
+        )
+        return token
+
+    def tenant_of(self, token: Optional[str]) -> Optional[str]:
+        """Tenant name behind a credential (None for non-tenant tokens)."""
+        if token is None:
+            return None
+        return self._tenant_tokens.get(token)
+
+    def tenant_usage(self, token: Optional[str] = None) -> List[Dict]:
+        self.acl.require(token, Permission.READ_STATE)
+        return self.quotas.describe()
+
     # -- attach workflow ---------------------------------------------------------------
     def attach(
         self,
@@ -195,14 +257,89 @@ class ControlPlane:
     ) -> Attachment:
         """Allocate ``size`` bytes of disaggregated memory to a host.
 
-        Full §IV-C workflow: authorize → pick donor → plan + reserve a
-        path → steal on the donor → allocate flow + device sections →
-        push the signed attach plan to the compute agent.
+        Full §IV-C workflow: authorize → admit (tenant quota + QoS
+        headroom) → pick donor → plan + reserve a path → steal on the
+        donor → allocate flow + device sections → push the signed
+        attach plan to the compute agent.
         """
         self.acl.require(token, Permission.ATTACH)
         record = self._host(compute_host)
         section_bytes = record.agent.kernel.section_bytes
         size = -(-size // section_bytes) * section_bytes
+        tenant = self.tenant_of(token)
+        qos: Optional[QosClass] = None
+        if tenant is not None:
+            spec = self.quotas.spec(tenant)
+            qos = spec.qos
+            # Charged before any planner work: a quota-denied request
+            # (429) must not touch graph state at all.
+            self.quotas.charge(tenant, size)
+            if (
+                qos is QosClass.BEST_EFFORT
+                and self.best_effort_reserve > 0.0
+            ):
+                free, total = self.planner.capacity_headroom()
+                if free - size < self.best_effort_reserve * total:
+                    self.quotas.release(tenant, size)
+                    raise NoHeadroomError(
+                        f"best-effort attach of {size} bytes would dip "
+                        f"into the guaranteed reserve "
+                        f"({free} free of {total}, reserve "
+                        f"{self.best_effort_reserve:.0%})",
+                        tenant=tenant,
+                        free=free,
+                        total=total,
+                        reserve=self.best_effort_reserve,
+                    )
+        try:
+            attachment = self._attach_planned(
+                record, compute_host, size, memory_host, bonded
+            )
+        except Exception:
+            if tenant is not None:
+                self.quotas.release(tenant, size)
+            raise
+        attachment.tenant = tenant
+        attachment.qos = qos.value if qos is not None else None
+        self.audit_log.append(
+            f"attach #{attachment.attachment_id}: {size >> 20} MiB "
+            f"{attachment.memory_host} -> {compute_host}"
+            + (" (bonded)" if bonded else "")
+            + (f" [{tenant}]" if tenant else "")
+        )
+        if _events.ENABLED:
+            now = self._now()
+            _events.emit(
+                now,
+                "control.steal",
+                attachment=attachment.attachment_id,
+                grant=attachment.grant.grant_id,
+                memory_host=attachment.memory_host,
+                bytes=size,
+            )
+            fields = dict(
+                attachment=attachment.attachment_id,
+                compute_host=compute_host,
+                memory_host=attachment.memory_host,
+                bytes=size,
+                network_id=attachment.flow.network_id,
+                bonded=bonded,
+            )
+            if tenant is not None:
+                fields["tenant"] = tenant
+            _events.emit(now, "control.attach", **fields)
+        return attachment
+
+    def _attach_planned(
+        self,
+        record: _HostRecord,
+        compute_host: str,
+        size: int,
+        memory_host: Optional[str],
+        bonded: bool,
+    ) -> Attachment:
+        """Plan/reserve/apply once the request has been admitted."""
+        section_bytes = record.agent.kernel.section_bytes
         if memory_host is None:
             memory_host = self.planner.pick_donor(compute_host, size)
         donor_record = self._host(memory_host)
@@ -261,31 +398,6 @@ class ControlPlane:
         )
         self._next_attachment += 1
         self._attachments[attachment.attachment_id] = attachment
-        self.audit_log.append(
-            f"attach #{attachment.attachment_id}: {size >> 20} MiB "
-            f"{memory_host} -> {compute_host}"
-            + (" (bonded)" if bonded else "")
-        )
-        if _events.ENABLED:
-            now = self._now()
-            _events.emit(
-                now,
-                "control.steal",
-                attachment=attachment.attachment_id,
-                grant=grant.grant_id,
-                memory_host=memory_host,
-                bytes=size,
-            )
-            _events.emit(
-                now,
-                "control.attach",
-                attachment=attachment.attachment_id,
-                compute_host=compute_host,
-                memory_host=memory_host,
-                bytes=size,
-                network_id=flow.network_id,
-                bonded=bonded,
-            )
         return attachment
 
     def detach(
@@ -339,6 +451,8 @@ class ControlPlane:
             attachment.memory_host, attachment.size
         )
         self.planner.release(attachment.path)
+        if attachment.tenant is not None:
+            self.quotas.release(attachment.tenant, attachment.size)
         if force:
             self._quiesce_attachment_llcs(attachment)
         self.audit_log.append(

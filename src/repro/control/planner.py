@@ -148,6 +148,24 @@ class PathPlanner:
     def release(self, planned: PlannedPath) -> None:
         self.state.release(planned.reserved_nodes)
 
+    # -- capacity headroom --------------------------------------------------------------
+    def capacity_headroom(self) -> Tuple[int, int]:
+        """Cluster-wide donor capacity as ``(free_bytes, total_bytes)``.
+
+        The admission side of QoS: best-effort attaches are denied when
+        granting them would leave less free donor capacity than the
+        reserve fraction kept for guaranteed tenants (see
+        :meth:`~repro.control.orchestrator.ControlPlane.attach`).
+        """
+        free = 0
+        total = 0
+        for host in self.state.hosts():
+            free += self.state.donor_free(host)
+            total += self.state.node_attr(
+                self.state.mep(host), "donor_capacity"
+            )
+        return free, total
+
     # -- donor selection ----------------------------------------------------------------
     def pick_donor(
         self, compute_host: str, size: int, exclude: Tuple[str, ...] = ()

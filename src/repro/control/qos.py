@@ -1,0 +1,277 @@
+"""QoS classes, per-tenant quotas, and bounded admission queueing.
+
+The paper's control plane is what makes disaggregated memory
+*software-defined*; serving it to many tenants at once needs the three
+things an in-process facade never had to express:
+
+* **QoS classes** — every tenant is ``guaranteed``, ``burstable`` or
+  ``best_effort``. The class decides queue priority under load and
+  whether the planner's capacity headroom check applies (best-effort
+  attaches may not eat into the reserve kept for guaranteed tenants).
+* **Quotas** — per-tenant ceilings on live attachments and attached
+  bytes, charged by the orchestrator at attach and released at detach.
+  Exhaustion is a structured 429 (``control/quota-exceeded``), not a
+  planner failure.
+* **Admission queueing** — the async server bounds its backlog with a
+  per-class budget split; when a class's budget is full the request is
+  shed immediately with a 503 (``server/overloaded``) instead of
+  queueing without bound and collapsing every tenant's latency.
+
+Everything here is synchronous, deterministic state — the asyncio
+server (:mod:`repro.control.server`) wraps :class:`AdmissionQueue`
+with its own wakeup primitive, and the orchestrator consults
+:class:`QuotaLedger` inline.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "QosClass",
+    "TenantSpec",
+    "QuotaLedger",
+    "AdmissionQueue",
+    "QuotaExceededError",
+    "NoHeadroomError",
+    "OverloadedError",
+    "DrainingError",
+]
+
+
+class QuotaExceededError(ReproError, RuntimeError):
+    """A tenant asked for more than its quota allows (HTTP 429)."""
+
+    code = "control/quota-exceeded"
+
+
+class NoHeadroomError(ReproError, RuntimeError):
+    """A best-effort attach would eat the guaranteed reserve (503)."""
+
+    code = "control/no-headroom"
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The admission queue budget for this class is full (503)."""
+
+    code = "server/overloaded"
+
+
+class DrainingError(ReproError, RuntimeError):
+    """The server is draining and accepts no new work (503)."""
+
+    code = "server/draining"
+
+
+class QosClass(enum.Enum):
+    """Service classes, best first. Order is queue priority."""
+
+    GUARANTEED = "guaranteed"
+    BURSTABLE = "burstable"
+    BEST_EFFORT = "best_effort"
+
+    @property
+    def priority(self) -> int:
+        """0 is served first."""
+        return _PRIORITY[self]
+
+    @classmethod
+    def parse(cls, text: "str | QosClass") -> "QosClass":
+        if isinstance(text, cls):
+            return text
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ValueError(
+            f"unknown QoS class {text!r} "
+            f"(choose from {', '.join(m.value for m in cls)})"
+        )
+
+
+_PRIORITY = {
+    QosClass.GUARANTEED: 0,
+    QosClass.BURSTABLE: 1,
+    QosClass.BEST_EFFORT: 2,
+}
+
+#: Default share of the admission-queue depth budgeted to each class.
+#: Shares overlap deliberately: guaranteed may use the whole queue,
+#: burstable most of it, best-effort only half — so under overload the
+#: lowest class sheds first while better classes still enqueue.
+DEFAULT_QUEUE_SHARES: Dict[QosClass, float] = {
+    QosClass.GUARANTEED: 1.0,
+    QosClass.BURSTABLE: 0.75,
+    QosClass.BEST_EFFORT: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity, service class and quota ceilings.
+
+    ``max_attachments``/``max_bytes`` of ``None`` mean unmetered (the
+    admin surface); zero is a valid hard-deny quota.
+    """
+
+    name: str
+    qos: QosClass = QosClass.BURSTABLE
+    max_attachments: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "qos": self.qos.value,
+            "max_attachments": self.max_attachments,
+            "max_bytes": self.max_bytes,
+        }
+
+
+@dataclass
+class _Usage:
+    attachments: int = 0
+    bytes: int = 0
+
+
+class QuotaLedger:
+    """Per-tenant usage accounting against :class:`TenantSpec` quotas.
+
+    The orchestrator charges at attach (before any resource is
+    reserved, so a denied request does no planner work) and releases
+    at detach. ``charge`` raises :class:`QuotaExceededError` with the
+    offending dimension in ``details``.
+    """
+
+    def __init__(self):
+        self._specs: Dict[str, TenantSpec] = {}
+        self._usage: Dict[str, _Usage] = {}
+
+    def register(self, spec: TenantSpec) -> None:
+        self._specs[spec.name] = spec
+        self._usage.setdefault(spec.name, _Usage())
+
+    def spec(self, tenant: str) -> TenantSpec:
+        try:
+            return self._specs[tenant]
+        except KeyError:
+            raise QuotaExceededError(
+                f"unknown tenant {tenant!r}", tenant=tenant
+            ) from None
+
+    def tenants(self) -> List[str]:
+        return sorted(self._specs)
+
+    def charge(self, tenant: str, nbytes: int) -> None:
+        spec = self.spec(tenant)
+        usage = self._usage[tenant]
+        if (
+            spec.max_attachments is not None
+            and usage.attachments + 1 > spec.max_attachments
+        ):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} at its attachment quota "
+                f"({usage.attachments}/{spec.max_attachments})",
+                tenant=tenant,
+                dimension="attachments",
+                limit=spec.max_attachments,
+                used=usage.attachments,
+            )
+        if spec.max_bytes is not None and usage.bytes + nbytes > spec.max_bytes:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} would exceed its byte quota "
+                f"({usage.bytes + nbytes} > {spec.max_bytes})",
+                tenant=tenant,
+                dimension="bytes",
+                limit=spec.max_bytes,
+                used=usage.bytes,
+                requested=nbytes,
+            )
+        usage.attachments += 1
+        usage.bytes += nbytes
+
+    def release(self, tenant: str, nbytes: int) -> None:
+        usage = self._usage.get(tenant)
+        if usage is None:  # tenant deregistered mid-flight: nothing to do
+            return
+        usage.attachments = max(0, usage.attachments - 1)
+        usage.bytes = max(0, usage.bytes - nbytes)
+
+    def usage(self, tenant: str) -> Dict:
+        spec = self.spec(tenant)
+        usage = self._usage[tenant]
+        return {
+            **spec.describe(),
+            "attachments": usage.attachments,
+            "bytes": usage.bytes,
+        }
+
+    def describe(self) -> List[Dict]:
+        return [self.usage(name) for name in self.tenants()]
+
+
+class AdmissionQueue:
+    """Bounded multi-class FIFO with immediate shed on overflow.
+
+    ``max_depth`` bounds total queued jobs; each class additionally
+    gets ``share * max_depth`` slots (its budget), so best-effort
+    traffic saturates and sheds while guaranteed traffic still fits.
+    Jobs are opaque to the queue. ``push`` raises
+    :class:`OverloadedError` (the caller turns it into a 503) instead
+    of blocking — shedding at admission is what keeps latency bounded
+    under overload.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        shares: Optional[Dict[QosClass, float]] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        shares = dict(DEFAULT_QUEUE_SHARES, **(shares or {}))
+        self._budget = {
+            cls: max(1, int(shares[cls] * max_depth)) for cls in QosClass
+        }
+        self._queues: Dict[QosClass, Deque] = {
+            cls: deque() for cls in QosClass
+        }
+        self.shed_count = 0
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, qos: QosClass) -> int:
+        return len(self._queues[qos])
+
+    def budget(self, qos: QosClass) -> int:
+        return self._budget[qos]
+
+    def push(self, qos: QosClass, job) -> None:
+        total = len(self)
+        if total >= self.max_depth or len(self._queues[qos]) >= self._budget[qos]:
+            self.shed_count += 1
+            raise OverloadedError(
+                f"admission queue full for class {qos.value!r} "
+                f"({total}/{self.max_depth} queued, "
+                f"budget {self._budget[qos]})",
+                qos=qos.value,
+                depth=total,
+                budget=self._budget[qos],
+            )
+        self._queues[qos].append(job)
+        self.pushed += 1
+
+    def pop(self):
+        """Highest-priority queued job, or ``None`` when empty."""
+        for cls in QosClass:
+            queue = self._queues[cls]
+            if queue:
+                return queue.popleft()
+        return None

@@ -1,0 +1,470 @@
+"""Production asyncio HTTP control-plane server.
+
+This is the real socket in front of :class:`~repro.control.api.RestApi`
+— ROADMAP item 4's "promote the in-process REST facade to a
+production-grade asyncio server". Pure stdlib ``asyncio`` streams, no
+framework: an HTTP/1.1 request parser, keep-alive connections, bearer
+tokens, and a bounded, QoS-aware admission pipeline between the socket
+and the dispatch table:
+
+* every parsed request is classified by its tenant's QoS class
+  (:class:`~repro.control.qos.QosClass`; non-tenant credentials —
+  operators, admins — ride in ``guaranteed``);
+* admission pushes it into the bounded
+  :class:`~repro.control.qos.AdmissionQueue` — a full class budget
+  sheds the request *immediately* with a 503 (``server/overloaded``)
+  instead of queueing without bound;
+* worker tasks drain the queue strictly by class priority, so under
+  overload guaranteed tenants keep their latency while best-effort
+  traffic sheds first;
+* a draining server answers every new request with a 503
+  (``server/draining``) and finishes what it already admitted —
+  graceful drain, nothing dropped mid-flight.
+
+``GET /v1/metrics`` responses are unwrapped to the raw Prometheus text
+exposition with its proper content type, so a real Prometheus can
+scrape the live registry straight off this socket.
+
+Request metrics (``server.*``) land in the same
+:class:`~repro.obs.MetricsRegistry` the exposition serves — the server
+measures itself through the pipe it exposes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+from ..errors import http_status_for
+from ..obs import events as _events
+from .api import RestApi, RouteSpec
+from .qos import (
+    AdmissionQueue,
+    DrainingError,
+    OverloadedError,
+    QosClass,
+)
+
+__all__ = ["ControlServer", "ServerConfig", "http_request"]
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Socket + admission-control knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read ``server.port`` after start()
+    #: Concurrent dispatch tasks draining the admission queue.
+    workers: int = 4
+    #: Total bounded backlog; per-class budgets derive from it.
+    max_queue_depth: int = 256
+    #: Override the per-class depth shares (fractions of max_queue_depth).
+    queue_shares: Optional[Dict[QosClass, float]] = None
+    #: Largest accepted request body.
+    max_body_bytes: int = 1 << 20
+    #: Per-request header/body read timeout (slowloris guard).
+    read_timeout_s: float = 30.0
+    #: Listen backlog — sized for open-loop burst arrivals.
+    backlog: int = 512
+
+
+class _Job:
+    __slots__ = (
+        "method", "target", "body", "token", "qos", "tenant",
+        "future", "enqueued_at",
+    )
+
+    def __init__(self, method, target, body, token, qos, tenant, future):
+        self.method = method
+        self.target = target
+        self.body = body
+        self.token = token
+        self.qos = qos
+        self.tenant = tenant
+        self.future = future
+        self.enqueued_at = perf_counter()
+
+
+class ControlServer:
+    """Asyncio HTTP server fronting a :class:`RestApi` dispatch table."""
+
+    def __init__(
+        self,
+        api: RestApi,
+        config: Optional[ServerConfig] = None,
+        registry=None,
+    ):
+        self.api = api
+        self.config = config or ServerConfig()
+        self.registry = registry if registry is not None else api.registry
+        self.queue = AdmissionQueue(
+            max_depth=self.config.max_queue_depth,
+            shares=self.config.queue_shares,
+        )
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight = 0
+        self.requests_served = 0
+        if self.registry is not None:
+            self.registry.add_collector(self._collect)
+
+    # -- lifecycle -----------------------------------------------------------------
+    async def start(self) -> "ControlServer":
+        """Bind the socket and start the worker pool."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._wakeup = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.config.host,
+            self.config.port,
+            backlog=self.config.backlog,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker()) for _ in range(self.config.workers)
+        ]
+        if _events.ENABLED:
+            _events.emit(
+                self._now(), "server.listen",
+                host=self.config.host, port=self.port,
+                workers=self.config.workers,
+                max_queue_depth=self.config.max_queue_depth,
+            )
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish everything admitted.
+
+        The listening socket closes first (no new connections), live
+        keep-alive connections get ``server/draining`` 503s for any new
+        request, and the worker pool runs until the queue and every
+        in-flight dispatch are finished — admitted work is never
+        dropped.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while len(self.queue) > 0 or self._inflight > 0:
+            self._wakeup.set()
+            await asyncio.sleep(0.002)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if _events.ENABLED:
+            _events.emit(
+                self._now(), "server.drained",
+                served=self.requests_served, shed=self.queue.shed_count,
+            )
+
+    async def __aenter__(self) -> "ControlServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    # -- the admission pipeline ----------------------------------------------------
+    def _classify(self, token: Optional[str]) -> Tuple[QosClass, Optional[str]]:
+        """Tenant + QoS class behind a credential.
+
+        Tenants carry their registered class; non-tenant credentials
+        (the operator/admin surface) are guaranteed — the plane's own
+        operators must still reach it during an overload.
+        """
+        tenant = self.api.plane.tenant_of(token)
+        if tenant is None:
+            return QosClass.GUARANTEED, None
+        return self.api.plane.quotas.spec(tenant).qos, tenant
+
+    async def _dispatch(
+        self, method: str, target: str, body: Dict, token: Optional[str]
+    ) -> Tuple[int, Dict, QosClass]:
+        """Admit → queue → await the worker's response."""
+        qos, tenant = self._classify(token)
+        if self._draining:
+            error = DrainingError("server is draining; retry elsewhere")
+            self._count_shed("draining", qos)
+            return http_status_for(error.code), error.describe(), qos
+        future = asyncio.get_running_loop().create_future()
+        job = _Job(method, target, body, token, qos, tenant, future)
+        try:
+            self.queue.push(qos, job)
+        except OverloadedError as error:
+            self._count_shed("overloaded", qos)
+            return http_status_for(error.code), error.describe(), qos
+        self._wakeup.set()
+        status, response = await future
+        return status, response, qos
+
+    async def _worker(self) -> None:
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            self._inflight += 1
+            started = perf_counter()
+            try:
+                status, body = self.api.handle(
+                    job.method, job.target, job.body, job.token
+                )
+            except Exception as exc:  # defensive: handle() maps domain errors
+                status, body = 500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": "repro/error",
+                }
+            finally:
+                self._inflight -= 1
+            self._observe(job, status, started)
+            if not job.future.cancelled():
+                job.future.set_result((status, body))
+            # One request per loop tick: parsing/writing tasks stay live
+            # even while the queue is deep.
+            await asyncio.sleep(0)
+
+    # -- connection handling -------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.registry is not None:
+            self.registry.counter("server.connections").inc()
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.config.read_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except _BadRequest as exc:
+                    await self._write_response(
+                        writer, exc.status,
+                        {"error": exc.message, "code": exc.code},
+                        raw_spec=None, keep_alive=False,
+                    )
+                    break
+                if request is None:  # peer closed
+                    break
+                method, target, headers, body = request
+                token = _bearer_token(headers)
+                status, response, _qos = await self._dispatch(
+                    method, target, body, token
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                    and not self._draining
+                )
+                raw_spec = self.api.route_for(method, target)
+                await self._write_response(
+                    writer, status, response,
+                    raw_spec=raw_spec, keep_alive=keep_alive,
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _BadRequest(400, f"malformed request line {line!r}")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadRequest(
+                400, f"bad content-length {length_text!r}"
+            )
+        if length > self.config.max_body_bytes:
+            raise _BadRequest(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+                code="request/too-large",
+            )
+        body: Dict = {}
+        if length:
+            blob = await reader.readexactly(length)
+            try:
+                body = json.loads(blob)
+            except ValueError:
+                raise _BadRequest(400, "request body is not valid JSON")
+            if not isinstance(body, dict):
+                raise _BadRequest(400, "request body must be a JSON object")
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict,
+        raw_spec: Optional[RouteSpec],
+        keep_alive: bool,
+    ) -> None:
+        if raw_spec is not None and raw_spec.raw and status == 200:
+            payload = body["body"].encode("utf-8")
+            content_type = body["content_type"]
+        elif status == 204:
+            payload = b""
+            content_type = "application/json"
+        else:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # -- observability -------------------------------------------------------------
+    def _now(self) -> float:
+        return self.api.plane._now()
+
+    def _route_label(self, method: str, target: str) -> str:
+        spec = self.api.route_for(method, target)
+        return spec.template if spec is not None else "unmatched"
+
+    def _observe(self, job: _Job, status: int, started: float) -> None:
+        self.requests_served += 1
+        if self.registry is None:
+            return
+        finished = perf_counter()
+        self.registry.counter(
+            "server.requests",
+            route=self._route_label(job.method, job.target),
+            method=job.method,
+            status=status,
+            qos=job.qos.value,
+        ).inc()
+        self.registry.histogram(
+            "server.queue_wait_s", low=0.0, high=2.0, bins=40,
+            qos=job.qos.value,
+        ).observe(started - job.enqueued_at)
+        self.registry.histogram(
+            "server.service_s", low=0.0, high=2.0, bins=40,
+            qos=job.qos.value,
+        ).observe(finished - started)
+
+    def _count_shed(self, reason: str, qos: QosClass) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "server.shed", reason=reason, qos=qos.value
+            ).inc()
+
+    def _collect(self, registry) -> None:
+        registry.gauge("server.queue_depth").set(len(self.queue))
+        registry.gauge("server.inflight").set(self._inflight)
+        registry.gauge("server.draining").set(1.0 if self._draining else 0.0)
+
+
+class _BadRequest(Exception):
+    """Parse-level failure answered before dispatch."""
+
+    def __init__(self, status: int, message: str, code: str = "request/invalid"):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.code = code
+
+
+def _bearer_token(headers: Dict[str, str]) -> Optional[str]:
+    auth = headers.get("authorization", "")
+    if auth.lower().startswith("bearer "):
+        return auth[7:].strip()
+    return None
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    body: Optional[Dict] = None,
+    token: Optional[str] = None,
+    timeout_s: float = 30.0,
+):
+    """Minimal one-shot HTTP client (stdlib streams, for tests/loadgen).
+
+    Returns ``(status, headers, body)`` where ``body`` is the parsed
+    JSON object for JSON responses and the raw text otherwise.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        head = f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n"
+        if token is not None:
+            head += f"Authorization: Bearer {token}\r\n"
+        if payload:
+            head += "Content-Type: application/json\r\n"
+        head += f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    text = body_blob.decode("utf-8")
+    if headers.get("content-type", "").startswith("application/json") and text:
+        return status, headers, json.loads(text)
+    return status, headers, text

@@ -74,7 +74,8 @@ class RemoteMemoryError(ReproError, RuntimeError):
 
 #: The one code -> HTTP status table (satellite: no string matching).
 #: 4xx are caller mistakes, 409 is "valid request, conflicting state",
-#: 502 is upstream (donor/link) failure, 503 is "feature not wired".
+#: 429 is "tenant over quota, retry after releasing", 502 is upstream
+#: (donor/link) failure, 503 is "not wired / shedding / draining".
 HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "repro/error": 500,
     "auth/denied": 401,
@@ -86,6 +87,10 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "switch/packet-session": 409,
     "control/orchestration": 409,
     "control/unknown-attachment": 404,
+    "control/quota-exceeded": 429,
+    "control/no-headroom": 503,
+    "server/overloaded": 503,
+    "server/draining": 503,
     "memory/unreachable": 502,
     "memory/quarantined": 409,
     "resilience/unknown-campaign": 400,

@@ -12,14 +12,14 @@ attach/detach/run/register_observability with **one** signature and one
 per-topology differences (the circuit switch's reconfiguration blackout,
 which links belong to which host).
 
-Migration note: ``attach(host, size, memory_host, bonded)`` with the
-last two arguments *positional* is deprecated (one-release shim with a
-:class:`DeprecationWarning`); pass them as keywords.
+``memory_host``/``bonded``/``token`` are keyword-only. The one-release
+positional shim (PR 4's :class:`DeprecationWarning`) is gone: passing
+them positionally now raises :class:`TypeError` straight from the
+signature.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Protocol, runtime_checkable
 
 from ..control.orchestrator import Attachment, ControlPlane
@@ -100,7 +100,7 @@ class TestbedBase:
         self,
         compute_host: str,
         size: int,
-        *legacy,
+        *,
         memory_host: Optional[str] = None,
         bonded: bool = False,
         token: Optional[str] = None,
@@ -110,22 +110,6 @@ class TestbedBase:
         Uses the admin credential unless ``token`` is given. Returns
         once the fabric is usable (after any reconfiguration blackout).
         """
-        if legacy:
-            if len(legacy) > 2:
-                raise TypeError(
-                    f"attach() takes at most 4 positional arguments "
-                    f"({2 + len(legacy)} given)"
-                )
-            warnings.warn(
-                "passing memory_host/bonded to attach() positionally is "
-                "deprecated; use keyword arguments "
-                "(attach(host, size, memory_host=..., bonded=...))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            memory_host = legacy[0]
-            if len(legacy) == 2:
-                bonded = legacy[1]
         attachment = self.plane.attach(
             compute_host,
             size,

@@ -79,23 +79,30 @@ class TestConformance:
             testbed.node("node99")
 
 
-class TestDeprecatedPositionalShim:
-    def test_positional_memory_host_warns_but_works(self, testbed):
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            attachment = testbed.attach("node0", 2 * MIB, "node1")
-        assert attachment.memory_host == "node1"
+class TestKeywordOnlySignature:
+    """The PR-4 positional shim is gone: old call shapes fail loudly."""
 
-    def test_positional_bonded_warns_but_works(self):
+    def test_positional_memory_host_is_a_type_error(self, testbed):
+        with pytest.raises(TypeError, match="positional"):
+            testbed.attach("node0", 2 * MIB, "node1")
+
+    def test_positional_bonded_is_a_type_error(self):
         testbed = _Testbed()
-        with pytest.warns(DeprecationWarning):
-            attachment = testbed.attach("node0", 2 * MIB, "node1", True)
-        assert attachment.flow.bonded is True
+        with pytest.raises(TypeError, match="positional"):
+            testbed.attach("node0", 2 * MIB, "node1", True)
 
     def test_keyword_form_is_warning_free(self, testbed):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             testbed.attach("node0", 2 * MIB, memory_host="node1")
 
-    def test_too_many_positionals_rejected(self, testbed):
-        with pytest.raises(TypeError):
-            testbed.attach("node0", 2 * MIB, "node1", True, "extra")
+    def test_no_deprecation_shim_left_in_signature(self):
+        import inspect
+
+        parameters = inspect.signature(_TestbedBase.attach).parameters
+        assert all(
+            p.kind is not inspect.Parameter.VAR_POSITIONAL
+            for p in parameters.values()
+        )
+        for name in ("memory_host", "bonded", "token"):
+            assert parameters[name].kind is inspect.Parameter.KEYWORD_ONLY
